@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+All benchmarks run at ``demo`` scale (see ``repro.scale.DEMO``): large
+enough that the paper's qualitative claims are measurable, small enough for
+CPU.  Expensive artefacts (trained HyperNet, GP predictors) are built once
+per session via the experiment-context cache.
+
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` because each target is
+a full experiment, not a micro-kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_context
+
+
+#: Iteration budget for demo-scale searches (paper: 10 000-12 000).
+SEARCH_ITERATIONS = 160
+#: Top-N rescored in Table 2 runs (paper: 10).
+TOPN = 3
+
+
+@pytest.fixture(scope="session")
+def demo_context():
+    """The shared demo-scale context (trains the HyperNet once)."""
+    return get_context("demo", seed=0)

@@ -1,0 +1,58 @@
+"""Benchmark: Fig. 4 — regression-model comparison for the performance
+predictors, plus the GP-vs-simulator speedup study (Sec. III-E).
+
+Paper claims reproduced here:
+* the Gaussian process has the lowest MSE of the six regression families,
+  for both the energy and the latency predictor;
+* prediction is orders of magnitude faster than simulation ("nearly 2000x")
+  at a small relative error ("less than 4% accuracy loss").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4("demo", seed=0)
+
+
+def test_fig4_regressor_comparison(benchmark, fig4_result):
+    """Regenerate Fig. 4 and check the GP wins on MSE."""
+    result = benchmark.pedantic(lambda: run_fig4("demo", seed=1), rounds=1, iterations=1)
+    print("\n" + result.to_text())
+    assert result.best("energy").model == "gaussian_process"
+    assert result.best("latency").model == "gaussian_process"
+
+
+def test_fig4_gp_beats_every_other_model(benchmark, fig4_result):
+    benchmark.pedantic(lambda: fig4_result, rounds=1, iterations=1)
+    for target in ("energy", "latency"):
+        gp = next(r for r in fig4_result.rows
+                  if r.model == "gaussian_process" and r.target == target)
+        others = [r for r in fig4_result.rows
+                  if r.target == target and r.model != "gaussian_process"]
+        assert all(gp.mse <= o.mse for o in others), target
+
+
+def test_fig4_gp_speedup_and_accuracy(benchmark, fig4_result):
+    """GP >> simulator in speed, with small relative error (paper: ~2000x, <4%)."""
+    benchmark.pedantic(lambda: fig4_result, rounds=1, iterations=1)
+    for target in ("energy", "latency"):
+        gp = next(r for r in fig4_result.rows
+                  if r.model == "gaussian_process" and r.target == target)
+        assert gp.speedup_vs_simulator > 50.0, (target, gp.speedup_vs_simulator)
+        assert gp.relative_error < 0.10, (target, gp.relative_error)
+        assert gp.r2 > 0.9
+
+
+def test_fig4_gp_ranking_fidelity(benchmark, fig4_result):
+    """The predictor must rank candidates like the simulator (search signal)."""
+    benchmark.pedantic(lambda: fig4_result, rounds=1, iterations=1)
+    for target in ("energy", "latency"):
+        gp = next(r for r in fig4_result.rows
+                  if r.model == "gaussian_process" and r.target == target)
+        assert gp.spearman > 0.9

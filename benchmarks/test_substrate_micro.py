@@ -1,0 +1,95 @@
+"""Micro-benchmarks for the substrates (real repeated-round timings).
+
+These are conventional pytest-benchmark targets (multiple rounds) covering
+the hot paths of the system: the analytical simulator, the GP predictor,
+the HyperNet evaluation that dominates search iterations, and the
+controller's sample+update step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.simulator import SystolicArraySimulator
+from repro.nas.space import DnnSpace
+from repro.predict.dataset import collect_samples
+from repro.predict.gp import GaussianProcessRegressor
+from repro.search.controller import Controller
+
+
+@pytest.fixture(scope="module")
+def genotype():
+    return DnnSpace().sample(np.random.default_rng(0))
+
+
+def test_bench_simulator_network(benchmark, genotype):
+    """Full-network analytical simulation (the paper replaces this with GP)."""
+    sim = SystolicArraySimulator()
+    cfg = AcceleratorConfig(16, 32, 512, 512, "OS")
+    report = benchmark(
+        lambda: sim.simulate_genotype(genotype, cfg, num_cells=6,
+                                      stem_channels=16, image_size=32)
+    )
+    assert report.energy_mj > 0
+
+
+def test_bench_gp_fit(benchmark):
+    samples = collect_samples(120, seed=0, num_cells=3, stem_channels=8,
+                              image_size=16)
+
+    def fit():
+        gp = GaussianProcessRegressor(optimise=False)
+        gp.fit(samples.x, samples.energy_mj)
+        return gp
+
+    gp = benchmark(fit)
+    assert gp.predict(samples.x[:1]).shape == (1,)
+
+
+def test_bench_gp_predict(benchmark):
+    samples = collect_samples(150, seed=1, num_cells=3, stem_channels=8,
+                              image_size=16)
+    gp = GaussianProcessRegressor(seed=0)
+    gp.fit(samples.x[:120], samples.energy_mj[:120])
+    pred = benchmark(lambda: gp.predict(samples.x[120:]))
+    assert len(pred) == 30
+
+
+def test_bench_hypernet_evaluate(benchmark, demo_context):
+    """One fast-evaluator accuracy measurement (the search's inner loop)."""
+    rng = np.random.default_rng(2)
+    genotype = demo_context.hypernet.sample_genotype(rng)
+    images = demo_context.dataset.val.images[:96]
+    labels = demo_context.dataset.val.labels[:96]
+    acc = benchmark(
+        lambda: demo_context.hypernet.evaluate(genotype, images, labels,
+                                               batch_size=96)
+    )
+    assert 0.0 <= acc <= 1.0
+
+
+def test_bench_controller_sample(benchmark):
+    controller = Controller(seed=0)
+    rng = np.random.default_rng(3)
+    sample = benchmark(lambda: controller.sample(rng))
+    assert len(sample.tokens) == 44
+
+
+def test_bench_controller_update(benchmark):
+    from repro.nn.optim import Adam
+
+    controller = Controller(seed=1)
+    opt = Adam(controller.parameters(), lr=0.0035)
+    rng = np.random.default_rng(4)
+
+    def step():
+        controller.zero_grad()
+        episode = controller.sample(rng)
+        controller.accumulate_policy_gradient(episode, advantage=0.5)
+        opt.step()
+        return episode
+
+    episode = benchmark(step)
+    assert episode.log_prob < 0

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Search-strategy shoot-out over the joint co-design space.
+
+Runs five strategies under identical conditions (same fast evaluator,
+reward and iteration budget) — the paper's LSTM/RL searcher, random search,
+GP + expected-improvement Bayesian optimisation, regularised evolution
+(AmoebaNet's strategy) and a factorised UCB1 bandit — and plots the
+running-best reward curves in the terminal.  Reproduces the motivation of
+Sec. III-B: RL is the strongest sequential strategy; BO and bandits behave
+much closer to random search in the high-dimensional joint space.
+
+Usage:
+    python examples/search_strategies.py [--scale smoke|demo] [--iterations N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.ablation import STRATEGIES, run_search_strategy_ablation
+from repro.experiments.common import format_table, get_context
+from repro.experiments.plotting import line_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "demo"])
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Building the fast evaluator ({args.scale} scale) ...")
+    context = get_context(args.scale, args.seed)
+    result = run_search_strategy_ablation(
+        args.scale, args.seed, context=context, iterations=args.iterations
+    )
+
+    print()
+    print(line_chart(
+        {
+            "RL": result.rl.running_best_rewards(),
+            "random": result.random.running_best_rewards(),
+            "BO": result.bayesopt.running_best_rewards(),
+            "evolution": result.evolution.running_best_rewards(),
+        },
+        title=f"Running-best composite reward ({result.iterations} iterations)",
+        x_label="iteration", y_label="reward",
+    ))
+
+    rows = [
+        [
+            which,
+            f"{result.best(which):.4f}",
+            f"{result.tail_mean(which):.4f}",
+        ]
+        for which in STRATEGIES
+    ]
+    print()
+    print(format_table(["strategy", "best reward", "tail-mean (last 25%)"], rows))
+    print("\nThe RL controller conditions each token on the whole generated "
+          "prefix, which is what the factorised bandit and the random-pool "
+          "BO proposals cannot do in this coupled space (Sec. III-B).")
+
+
+if __name__ == "__main__":
+    main()

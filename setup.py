@@ -1,0 +1,8 @@
+"""Setuptools shim; metadata lives in pyproject.toml.
+
+Kept so editable installs work on environments whose setuptools predates
+bundled bdist_wheel support (offline boxes without the `wheel` package).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Systolic-array accelerator substrate.
+
+The reproduction's equivalent of the paper's modified ``nn_dataflow``
+simulator: a configuration space (Table 1), per-layer workload extraction,
+dataflow spatial-mapping models (WS/OS/RS/NLR), a global-buffer tiling
+mapper, and an analytical latency/energy simulator used as the ground-truth
+oracle for the Gaussian-process predictors.
+"""
+
+from .config import (
+    DATAFLOW_CHOICES,
+    GBUF_KB_CHOICES,
+    PE_CHOICES,
+    RBUF_B_CHOICES,
+    AcceleratorConfig,
+    Dataflow,
+    enumerate_configs,
+    hw_space_size,
+    random_config,
+)
+from .dataflow import MappingProfile, spatial_map
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from .mapper import Tiling, choose_tiling
+from .simulator import (
+    EnergyBreakdown,
+    LayerReport,
+    NetworkReport,
+    SystolicArraySimulator,
+)
+from .workload import WORD_BYTES, LayerWorkload, network_workloads, reduction_positions
+
+__all__ = [
+    "AcceleratorConfig",
+    "Dataflow",
+    "PE_CHOICES",
+    "GBUF_KB_CHOICES",
+    "RBUF_B_CHOICES",
+    "DATAFLOW_CHOICES",
+    "enumerate_configs",
+    "hw_space_size",
+    "random_config",
+    "MappingProfile",
+    "spatial_map",
+    "EnergyModel",
+    "DEFAULT_ENERGY_MODEL",
+    "Tiling",
+    "choose_tiling",
+    "LayerReport",
+    "EnergyBreakdown",
+    "NetworkReport",
+    "SystolicArraySimulator",
+    "LayerWorkload",
+    "network_workloads",
+    "reduction_positions",
+    "WORD_BYTES",
+]

@@ -1,0 +1,142 @@
+"""Systolic-array accelerator configuration space (Table 1 of the paper).
+
+The configurable parameters before the accelerator design is finalised:
+
+* ``Processing Element (PE)`` — PE array size, range 8x8 ... 16x32.
+* ``g_buf``  — global (L2) buffer size, range 108 ... 1024 KB.
+* ``r_buf``  — per-PE register buffer size, range 64 ... 1024 bytes.
+* ``data_flow`` — weight stationary (WS), output stationary (OS),
+  row stationary (RS) or no local reuse (NLR).
+
+The discrete choice lists below cover every value that appears in Table 2
+of the paper (16x32, 14x16, 16x20, 16x16 PE arrays; 108/196/256/512 KB
+global buffers; 128/256/512/1024 B register buffers; all four dataflows),
+giving an enumerable hardware space for the two-stage baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "Dataflow",
+    "AcceleratorConfig",
+    "PE_CHOICES",
+    "GBUF_KB_CHOICES",
+    "RBUF_B_CHOICES",
+    "DATAFLOW_CHOICES",
+    "enumerate_configs",
+    "hw_space_size",
+    "random_config",
+]
+
+
+class Dataflow:
+    """Dataflow identifiers (string enum kept simple for serialisation)."""
+
+    WS = "WS"  # weight stationary
+    OS = "OS"  # output stationary
+    RS = "RS"  # row stationary
+    NLR = "NLR"  # no local reuse
+
+    ALL = (WS, OS, RS, NLR)
+
+
+#: PE array geometries (rows, cols); spans the paper's 8x8 ... 16x32 range.
+PE_CHOICES: tuple[tuple[int, int], ...] = (
+    (8, 8),
+    (8, 16),
+    (12, 16),
+    (14, 16),
+    (16, 16),
+    (16, 20),
+    (16, 24),
+    (16, 32),
+)
+
+#: Global buffer sizes in KB (paper range 108 ... 1024 KB).
+GBUF_KB_CHOICES: tuple[int, ...] = (108, 196, 256, 512, 1024)
+
+#: Register (per-PE local) buffer sizes in bytes (paper range 64 ... 1024 B).
+RBUF_B_CHOICES: tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+DATAFLOW_CHOICES: tuple[str, ...] = Dataflow.ALL
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One point in the accelerator design space."""
+
+    pe_rows: int
+    pe_cols: int
+    gbuf_kb: int
+    rbuf_bytes: int
+    dataflow: str
+
+    def __post_init__(self) -> None:
+        if self.pe_rows < 1 or self.pe_cols < 1:
+            raise ValueError("PE array dimensions must be positive")
+        if self.gbuf_kb < 1:
+            raise ValueError("global buffer must be at least 1 KB")
+        if self.rbuf_bytes < 1:
+            raise ValueError("register buffer must be at least 1 byte")
+        if self.dataflow not in Dataflow.ALL:
+            raise ValueError(
+                f"unknown dataflow {self.dataflow!r}; choose from {Dataflow.ALL}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def gbuf_bytes(self) -> int:
+        return self.gbuf_kb * 1024
+
+    def describe(self) -> str:
+        """Table-2 style description, e.g. ``16*32/512KB/512B/OS``."""
+        return (
+            f"{self.pe_rows}*{self.pe_cols}/{self.gbuf_kb}KB/"
+            f"{self.rbuf_bytes}B/{self.dataflow}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "pe_rows": self.pe_rows,
+            "pe_cols": self.pe_cols,
+            "gbuf_kb": self.gbuf_kb,
+            "rbuf_bytes": self.rbuf_bytes,
+            "dataflow": self.dataflow,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AcceleratorConfig":
+        return cls(**data)
+
+
+def enumerate_configs() -> Iterator[AcceleratorConfig]:
+    """Every point of the discrete hardware space (two-stage enumeration)."""
+    for (rows, cols), gbuf, rbuf, flow in itertools.product(
+        PE_CHOICES, GBUF_KB_CHOICES, RBUF_B_CHOICES, DATAFLOW_CHOICES
+    ):
+        yield AcceleratorConfig(rows, cols, gbuf, rbuf, flow)
+
+
+def hw_space_size() -> int:
+    """Number of distinct hardware configurations."""
+    return len(PE_CHOICES) * len(GBUF_KB_CHOICES) * len(RBUF_B_CHOICES) * len(DATAFLOW_CHOICES)
+
+
+def random_config(rng) -> AcceleratorConfig:
+    """Uniformly sample one hardware configuration."""
+    rows, cols = PE_CHOICES[int(rng.integers(0, len(PE_CHOICES)))]
+    return AcceleratorConfig(
+        pe_rows=rows,
+        pe_cols=cols,
+        gbuf_kb=GBUF_KB_CHOICES[int(rng.integers(0, len(GBUF_KB_CHOICES)))],
+        rbuf_bytes=RBUF_B_CHOICES[int(rng.integers(0, len(RBUF_B_CHOICES)))],
+        dataflow=DATAFLOW_CHOICES[int(rng.integers(0, len(DATAFLOW_CHOICES)))],
+    )

@@ -1,0 +1,137 @@
+"""Spatial-mapping models for the four dataflows (Table 1).
+
+For each dataflow we model (a) how well a layer's dimensions fill the
+two-dimensional PE array — the *utilisation* — and (b) how often each
+datatype is reused at the PE register level before it must be refetched
+from the global buffer — the *local reuse* factors.  This is the standard
+taxonomy of Chen et al. (Eyeriss, ISCA'16) that the paper's simulator
+(`nn_dataflow`) implements cycle-accurately; here it is analytical.
+
+* **WS** (weight stationary): weights pinned in PE registers; maps input
+  channels on rows, output channels on columns.  Weight reuse scales with
+  the number of output pixels while resident (capped by r_buf capacity).
+* **OS** (output stationary): partial sums pinned; maps the output plane on
+  the array.  Psum reuse is the full reduction depth.
+* **RS** (row stationary): filter rows x output rows on the array; both
+  ifmap rows and filter rows enjoy convolutional reuse.
+* **NLR** (no local reuse): flexible mapping with all operands streamed
+  from the global buffer — high utilisation, no register-level reuse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import AcceleratorConfig, Dataflow
+from .workload import WORD_BYTES, LayerWorkload
+
+__all__ = ["MappingProfile", "spatial_map", "fold_utilisation"]
+
+
+@dataclass(frozen=True)
+class MappingProfile:
+    """Result of spatially mapping one layer onto the PE array.
+
+    Attributes
+    ----------
+    utilisation:
+        Fraction of PE-cycles doing useful work, in ``(0, 1]``.
+    ifmap_reuse, weight_reuse, psum_reuse:
+        Register-level reuse factor per datatype (>= 1).  Global-buffer
+        reads per MAC for a datatype are ``1 / reuse``.
+    """
+
+    utilisation: float
+    ifmap_reuse: float
+    weight_reuse: float
+    psum_reuse: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilisation <= 1.0:
+            raise ValueError(f"utilisation {self.utilisation} out of (0, 1]")
+        if min(self.ifmap_reuse, self.weight_reuse, self.psum_reuse) < 1.0:
+            raise ValueError("reuse factors must be >= 1")
+
+
+def fold_utilisation(dim: int, lanes: int) -> float:
+    """Utilisation of ``lanes`` parallel lanes processing a ``dim``-sized loop.
+
+    The loop is folded into ``ceil(dim / lanes)`` passes; the last pass may
+    be partially filled, giving ``dim / (ceil(dim/lanes) * lanes)``.
+    """
+    if dim < 1 or lanes < 1:
+        raise ValueError("dim and lanes must be positive")
+    return dim / (math.ceil(dim / lanes) * lanes)
+
+
+def _pair_utilisation(dim_r: int, dim_c: int, config: AcceleratorConfig) -> float:
+    return fold_utilisation(dim_r, config.pe_rows) * fold_utilisation(dim_c, config.pe_cols)
+
+
+def _rbuf_capacity_factor(config: AcceleratorConfig, resident_words: float) -> float:
+    """Degradation of stationary reuse when r_buf can't hold the resident set."""
+    rbuf_words = config.rbuf_bytes / WORD_BYTES
+    if resident_words <= 0:
+        return 1.0
+    return min(1.0, rbuf_words / resident_words)
+
+
+def spatial_map(layer: LayerWorkload, config: AcceleratorConfig) -> MappingProfile:
+    """Map ``layer`` onto ``config`` under the configured dataflow."""
+    k = layer.out_channels
+    c = layer.in_channels
+    oh = ow = layer.out_size
+    r = layer.kernel
+    rs = r * r
+    flow = config.dataflow
+    depthwise_like = layer.kind in ("dwconv", "pool")
+
+    if flow == Dataflow.WS:
+        if depthwise_like:
+            # No cross-channel reduction: channels on rows, output rows on cols.
+            util = _pair_utilisation(c, oh, config)
+            ifmap_multicast = 1.0
+        else:
+            util = _pair_utilisation(c, k, config)
+            ifmap_multicast = min(k, config.pe_cols)
+        cap = _rbuf_capacity_factor(config, rs)
+        weight_reuse = max(1.0, oh * ow * cap)
+        ifmap_reuse = max(1.0, float(ifmap_multicast))
+        psum_reuse = max(1.0, rs * min(c, config.pe_rows))
+    elif flow == Dataflow.OS:
+        util = _pair_utilisation(oh, ow, config)
+        psum_reuse = max(1.0, float(rs if depthwise_like else c * rs))
+        weight_reuse = max(
+            1.0, float(min(oh, config.pe_rows) * min(ow, config.pe_cols))
+        )
+        cap = _rbuf_capacity_factor(config, rs)
+        stride_sq = layer.stride * layer.stride
+        ifmap_reuse = max(1.0, (rs / stride_sq) * cap)
+    elif flow == Dataflow.RS:
+        # Filter rows on array rows (replicated to fill), output rows on cols.
+        copies = max(1, config.pe_rows // r) if r <= config.pe_rows else 1
+        rows_used = min(config.pe_rows, r * copies)
+        util_rows = rows_used / config.pe_rows
+        repl_dim = oh if depthwise_like else k
+        util_rows *= min(1.0, repl_dim / copies) if copies > 1 else 1.0
+        util = max(1e-3, util_rows * fold_utilisation(oh, config.pe_cols))
+        cap = _rbuf_capacity_factor(config, r + layer.in_size // max(1, layer.stride))
+        ifmap_reuse = max(1.0, r * cap)  # each ifmap row feeds r filter rows
+        weight_reuse = max(1.0, min(oh, config.pe_cols) * cap)
+        psum_reuse = max(1.0, float(rs))
+    elif flow == Dataflow.NLR:
+        if depthwise_like:
+            util = _pair_utilisation(c, oh, config)
+        else:
+            util = _pair_utilisation(k, oh, config)
+        ifmap_reuse = weight_reuse = psum_reuse = 1.0
+    else:  # pragma: no cover - config validation prevents this
+        raise ValueError(f"unknown dataflow {flow!r}")
+
+    return MappingProfile(
+        utilisation=min(1.0, max(1e-4, util)),
+        ifmap_reuse=ifmap_reuse,
+        weight_reuse=weight_reuse,
+        psum_reuse=psum_reuse,
+    )

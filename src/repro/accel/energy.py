@@ -1,0 +1,50 @@
+"""Energy and timing constants for the systolic-array model.
+
+The values follow the well-known Eyeriss / TETRIS energy hierarchy for a
+16-bit datapath: a register-file access costs about the same as a MAC, a
+global-buffer access ~6x that, and a DRAM access ~200x.  Static (leakage)
+power scales with the amount of instantiated hardware, which is what makes
+over-provisioned configurations lose on energy even when they win on
+latency.
+
+Absolute numbers are normalised, not process-calibrated: the reproduction
+targets the *relative* behaviour of configurations (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import AcceleratorConfig
+
+__all__ = ["EnergyModel", "DEFAULT_ENERGY_MODEL"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs (picojoules) and clocking assumptions."""
+
+    mac_pj: float = 1.0  # one 16-bit multiply-accumulate
+    rbuf_pj: float = 0.9  # one register-file word access
+    gbuf_pj: float = 6.0  # one global-buffer word access
+    dram_pj: float = 200.0  # one DRAM word access
+    freq_mhz: float = 1000.0  # core clock
+    dram_bw_bytes_per_cycle: float = 16.0  # DRAM bandwidth at the core clock
+    # Leakage coefficients (pJ per cycle per unit of hardware).
+    leak_per_pe_pj: float = 0.02
+    leak_per_gbuf_kb_pj: float = 0.05
+    leak_per_rbuf_byte_per_pe_pj: float = 2e-5
+
+    def leakage_pj_per_cycle(self, config: AcceleratorConfig) -> float:
+        """Static energy burned per clock cycle by a configuration."""
+        return (
+            self.leak_per_pe_pj * config.num_pes
+            + self.leak_per_gbuf_kb_pj * config.gbuf_kb
+            + self.leak_per_rbuf_byte_per_pe_pj * config.rbuf_bytes * config.num_pes
+        )
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / (self.freq_mhz * 1e3)
+
+
+DEFAULT_ENERGY_MODEL = EnergyModel()

@@ -1,0 +1,97 @@
+"""Loop-tiling mapper: chooses how a layer is blocked through the global
+buffer and derives the resulting DRAM traffic.
+
+The classical three-way blocking is over input channels (``nc`` tiles),
+output channels (``nk`` tiles) and the output plane (``ns`` spatial tiles).
+A candidate tiling is feasible when one tile of each datatype fits in the
+global buffer simultaneously.  DRAM traffic then follows the standard
+reload model:
+
+* weights are re-fetched once per spatial tile        -> ``weight * ns``
+* ifmaps are re-fetched once per output-channel tile  -> ``ifmap * nk``
+* psums spill once per extra input-channel tile       -> ``ofmap * (2*nc - 1)``
+
+The mapper enumerates a small candidate grid and returns the tiling with the
+lowest DRAM traffic (the dominant energy term), which is what an energy-aware
+compiler would pick.  An infeasible layer (working set larger than any
+tiling allows) falls back to streaming everything, i.e. the worst tiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import AcceleratorConfig
+from .workload import LayerWorkload
+
+__all__ = ["Tiling", "choose_tiling", "TILE_GRID"]
+
+#: Candidate tile counts per blocked dimension.
+TILE_GRID: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+#: Fraction of the global buffer usable for tiles (the rest is double-
+#: buffering/control overhead).
+_GBUF_USABLE = 0.9
+
+
+@dataclass(frozen=True)
+class Tiling:
+    """A chosen blocking and its DRAM traffic."""
+
+    nc: int  # input-channel tile count
+    nk: int  # output-channel tile count
+    ns: int  # spatial tile count
+    dram_ifmap_bytes: float
+    dram_weight_bytes: float
+    dram_ofmap_bytes: float
+    feasible: bool
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_ifmap_bytes + self.dram_weight_bytes + self.dram_ofmap_bytes
+
+
+# Precomputed cartesian grid (vectorised feasibility/traffic evaluation).
+_NC, _NK, _NS = (g.ravel() for g in np.meshgrid(TILE_GRID, TILE_GRID, TILE_GRID, indexing="ij"))
+
+
+def choose_tiling(layer: LayerWorkload, config: AcceleratorConfig) -> Tiling:
+    """Pick the minimum-DRAM-traffic feasible tiling for ``layer``."""
+    ifmap = float(layer.ifmap_bytes)
+    weight = float(layer.weight_bytes)
+    ofmap = float(layer.ofmap_bytes)
+    budget = config.gbuf_bytes * _GBUF_USABLE
+
+    # Tile working set per candidate (vectorised over the grid).
+    tile_set = ifmap / (_NC * _NS) + weight / (_NC * _NK) + ofmap / (_NK * _NS)
+    feasible = tile_set <= budget
+    # Traffic per candidate.  Weights may be absent (pooling): no reloads.
+    t_weight = weight * _NS
+    t_ifmap = ifmap * _NK
+    t_ofmap = ofmap * (2 * _NC - 1)
+    traffic = t_weight + t_ifmap + t_ofmap
+    if feasible.any():
+        masked = np.where(feasible, traffic, np.inf)
+        best = int(np.argmin(masked))
+        return Tiling(
+            nc=int(_NC[best]),
+            nk=int(_NK[best]),
+            ns=int(_NS[best]),
+            dram_ifmap_bytes=float(t_ifmap[best]),
+            dram_weight_bytes=float(t_weight[best]),
+            dram_ofmap_bytes=float(t_ofmap[best]),
+            feasible=True,
+        )
+    # Nothing fits: stream at the finest blocking (pessimistic fallback).
+    worst = len(_NC) - 1
+    return Tiling(
+        nc=int(_NC[worst]),
+        nk=int(_NK[worst]),
+        ns=int(_NS[worst]),
+        dram_ifmap_bytes=float(t_ifmap[worst]),
+        dram_weight_bytes=float(t_weight[worst]),
+        dram_ofmap_bytes=float(t_ofmap[worst]),
+        feasible=False,
+    )

@@ -1,0 +1,5 @@
+"""Published-architecture baselines used by the two-stage comparison."""
+
+from .genotypes import TWO_STAGE_BASELINES, BaselineModel, baseline_by_name
+
+__all__ = ["TWO_STAGE_BASELINES", "BaselineModel", "baseline_by_name"]

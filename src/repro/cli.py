@@ -1,0 +1,155 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Usage (installed as ``python -m repro.cli`` or the ``yoso`` console script):
+
+    yoso run      [--scale demo] [--seed 0]       # full 3-step pipeline
+    yoso fig4     [--scale demo]                  # predictor comparison
+    yoso fig5     [--scale demo] [--models 10]    # HyperNet effectiveness
+    yoso fig6     [--scale demo] [--iterations N] # search strategy figures
+    yoso table2   [--scale demo] [--iterations N] # two-stage comparison
+    yoso space                                     # search-space statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="demo", choices=["smoke", "demo", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro import quick_codesign
+
+    result = quick_codesign(args.scale, seed=args.seed)
+    best = result.best
+    print(f"final co-design : {best.point().describe()}")
+    print(f"accuracy        : {best.accurate.accuracy:.3f}")
+    print(f"latency         : {best.accurate.latency_ms:.4f} ms")
+    print(f"energy          : {best.accurate.energy_mj:.4f} mJ")
+    print(f"composite reward: {best.reward:.4f}")
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments.fig4 import run_fig4
+
+    result = run_fig4(args.scale, seed=args.seed)
+    print(result.to_text())
+    best = result.best("energy")
+    print(f"\nbest energy predictor: {best.model} (mse {best.mse:.3e})")
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.fig5 import run_fig5a, run_fig5b
+    from repro.experiments.plotting import line_chart, scatter_chart
+
+    curve = run_fig5a(args.scale, args.seed)
+    print(line_chart({"hypernet": curve.accuracy},
+                     title="Fig 5(a): HyperNet training accuracy",
+                     x_label="epoch", y_label="accuracy"))
+    corr = run_fig5b(args.scale, args.seed, n_models=args.models)
+    print()
+    print(scatter_chart(corr.hypernet_accuracy, corr.standalone_accuracy,
+                        title="Fig 5(b): inherited vs stand-alone accuracy",
+                        x_label="hypernet", y_label="stand-alone"))
+    print(f"\npearson r = {corr.pearson_r:.3f}, spearman rho = {corr.spearman_rho:.3f}")
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.fig6 import run_fig6_tradeoff, run_fig6a
+    from repro.experiments.plotting import line_chart, scatter_chart
+
+    a = run_fig6a(args.scale, args.seed, iterations=args.iterations)
+    print(line_chart(
+        {"RL": a.rl.running_best_rewards(), "random": a.random.running_best_rewards()},
+        title="Fig 6(a): running-best composite score",
+        x_label="iteration", y_label="reward",
+    ))
+    for which, label in (("energy", "Fig 6(b)"), ("latency", "Fig 6(c)")):
+        t = run_fig6_tradeoff(which, args.scale, args.seed,
+                              iterations=args.iterations)
+        pts = t.scatter()
+        front = t.front()
+        print()
+        print(scatter_chart(
+            pts[:, 0], pts[:, 1],
+            title=f"{label}: accuracy vs {which} (●=Pareto front)",
+            x_label=which, y_label="accuracy",
+            highlight=[tuple(p) for p in front],
+        ))
+        distances = t.front_distance_by_phase()
+        print(f"distance to front by phase: "
+              + " -> ".join(f"{d:.4f}" for d in distances))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import run_table2
+
+    result = run_table2(args.scale, args.seed, iterations=args.iterations)
+    print(result.to_text())
+    return 0
+
+
+def cmd_space(args: argparse.Namespace) -> int:
+    from repro.accel.config import hw_space_size
+    from repro.nas.encoding import token_vocab_sizes
+    from repro.nas.space import DnnSpace, paper_space_size
+
+    space = DnnSpace()
+    print(f"DNN cell encodings       : {space.cell_count():.3e}")
+    print(f"DNN genotypes            : {space.size():.3e}")
+    print(f"paper's closed-form size : {paper_space_size():.3e}")
+    print(f"hardware configurations  : {hw_space_size()}")
+    print(f"joint co-design points   : {space.size() * hw_space_size():.3e}")
+    vocab = token_vocab_sizes()
+    print(f"action sequence          : {len(vocab)} tokens, vocab sizes {list(vocab)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="yoso", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="full 3-step co-design pipeline")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("fig4", help="predictor comparison (Fig. 4)")
+    _add_common(p)
+    p.set_defaults(func=cmd_fig4)
+
+    p = sub.add_parser("fig5", help="HyperNet effectiveness (Fig. 5)")
+    _add_common(p)
+    p.add_argument("--models", type=int, default=10)
+    p.set_defaults(func=cmd_fig5)
+
+    p = sub.add_parser("fig6", help="search-strategy figures (Fig. 6)")
+    _add_common(p)
+    p.add_argument("--iterations", type=int, default=None)
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("table2", help="two-stage comparison (Table 2 / Fig. 7)")
+    _add_common(p)
+    p.add_argument("--iterations", type=int, default=None)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("space", help="search-space statistics")
+    p.set_defaults(func=cmd_space)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

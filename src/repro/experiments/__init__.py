@@ -1,0 +1,59 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each ``run_*`` function regenerates the corresponding result at a chosen
+scale (``paper`` / ``demo`` / ``smoke``) and returns a structured object the
+benchmarks print and assert on.  See DESIGN.md for the experiment index and
+EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from .ablation import SearchStrategyAblation, run_search_strategy_ablation
+from .common import (
+    ExperimentContext,
+    clear_context_cache,
+    demo_thresholds,
+    format_table,
+    get_context,
+    scaled_reward,
+)
+from .fig4 import Fig4Result, PredictorRow, run_fig4
+from .fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
+from .fig6 import (
+    Fig6aResult,
+    Fig6TradeoffResult,
+    mean_distance_to_front,
+    pareto_front,
+    run_fig6_tradeoff,
+    run_fig6a,
+)
+from .table2 import Table2Result, Table2Row, run_table2
+from .thresholds import ThresholdCell, ThresholdSweep, run_threshold_sweep
+
+__all__ = [
+    "SearchStrategyAblation",
+    "run_search_strategy_ablation",
+    "ExperimentContext",
+    "get_context",
+    "clear_context_cache",
+    "demo_thresholds",
+    "scaled_reward",
+    "format_table",
+    "run_fig4",
+    "Fig4Result",
+    "PredictorRow",
+    "run_fig5a",
+    "run_fig5b",
+    "Fig5aResult",
+    "Fig5bResult",
+    "run_fig6a",
+    "run_fig6_tradeoff",
+    "Fig6aResult",
+    "Fig6TradeoffResult",
+    "pareto_front",
+    "mean_distance_to_front",
+    "run_table2",
+    "Table2Result",
+    "Table2Row",
+    "run_threshold_sweep",
+    "ThresholdSweep",
+    "ThresholdCell",
+]

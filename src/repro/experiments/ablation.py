@@ -1,0 +1,110 @@
+"""Ablation harnesses for the design choices the paper calls out.
+
+1. **Search strategy** (Sec. III-B): the paper chooses an LSTM/RL searcher
+   over Bayesian optimisation and bandit/random methods, arguing the latter
+   "behave like random search in high-dimensional search space".
+   :func:`run_search_strategy_ablation` runs RL, BO and random search with
+   the same evaluator, reward and budget.
+
+2. **HyperNet sampling policy** (Sec. III-D): uniform vs biased path
+   sampling (see ``benchmarks/test_ablation_sampling.py`` which uses
+   :meth:`repro.nas.space.DnnSpace.sample_biased`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..search.bandit import BanditSearch
+from ..search.bayesopt import BayesianOptSearch
+from ..search.controller import Controller
+from ..search.evolution import EvolutionSearch
+from ..search.random_search import RandomSearch
+from ..search.reinforce import ReinforceSearch, SearchHistory
+from ..search.reward import BALANCED
+from .common import ExperimentContext, get_context, scaled_reward
+from .fig6 import search_lr
+
+__all__ = ["SearchStrategyAblation", "run_search_strategy_ablation", "STRATEGIES"]
+
+#: Strategy names in report order.
+STRATEGIES: tuple[str, ...] = ("rl", "random", "bayesopt", "evolution", "bandit")
+
+
+@dataclass
+class SearchStrategyAblation:
+    """Histories of the five strategies under identical conditions."""
+
+    rl: SearchHistory
+    random: SearchHistory
+    bayesopt: SearchHistory
+    evolution: SearchHistory
+    bandit: SearchHistory
+    iterations: int
+
+    def tail_mean(self, which: str, frac: float = 0.25) -> float:
+        history: SearchHistory = getattr(self, which)
+        rewards = history.rewards()
+        k = max(1, int(len(rewards) * frac))
+        return float(rewards[-k:].mean())
+
+    def best(self, which: str) -> float:
+        return float(getattr(self, which).rewards().max())
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        return {
+            which: {"best": self.best(which), "tail_mean": self.tail_mean(which)}
+            for which in STRATEGIES
+        }
+
+
+def run_search_strategy_ablation(
+    scale_name: str = "demo",
+    seed: int = 0,
+    context: ExperimentContext | None = None,
+    iterations: int | None = None,
+) -> SearchStrategyAblation:
+    """RL vs random vs Bayesian optimisation on the same fast evaluator."""
+    context = context or get_context(scale_name, seed)
+    n = iterations if iterations is not None else context.scale.search_iterations
+    spec = scaled_reward(BALANCED, context)
+    feature_kwargs = dict(
+        num_cells=context.scale.hypernet_cells,
+        stem_channels=context.scale.hypernet_channels,
+        image_size=context.scale.image_size,
+    )
+    rl = ReinforceSearch(
+        Controller(seed=seed + 31),
+        context.fast_evaluator.evaluate,
+        spec,
+        lr=search_lr(context, None),
+        seed=seed + 31,
+    ).run(n)
+    random = RandomSearch(
+        context.fast_evaluator.evaluate, spec, seed=seed + 32
+    ).run(n)
+    bayes = BayesianOptSearch(
+        context.fast_evaluator.evaluate,
+        spec,
+        n_initial=max(5, n // 10),
+        pool_size=48,
+        refit_every=5,
+        seed=seed + 33,
+        feature_kwargs=feature_kwargs,
+    ).run(n)
+    evolution = EvolutionSearch(
+        context.fast_evaluator.evaluate,
+        spec,
+        population_size=max(4, n // 10),
+        tournament_size=max(2, n // 40),
+        seed=seed + 34,
+    ).run(n)
+    bandit = BanditSearch(
+        context.fast_evaluator.evaluate, spec, seed=seed + 35
+    ).run(n)
+    return SearchStrategyAblation(
+        rl=rl, random=random, bayesopt=bayes, evolution=evolution,
+        bandit=bandit, iterations=n,
+    )

@@ -1,0 +1,183 @@
+"""Shared experiment context and helpers.
+
+Every figure/table harness needs the same expensive artefacts (dataset,
+trained HyperNet, simulator samples, GP predictors).  :func:`get_context`
+builds them once per (scale, seed) and caches them for the process, so a
+benchmark session trains the HyperNet a single time.
+
+Thresholds: the paper uses t_eer = 9 mJ and t_lat = 1.2 ms for CIFAR-scale
+networks.  Demo-scale networks are smaller, so :func:`demo_thresholds`
+derives equivalent mid-range thresholds — the median latency/energy of a
+random sample of co-design points — which screen the space the same way
+the paper's values do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..accel.config import random_config
+from ..accel.simulator import SystolicArraySimulator
+from ..nas.hypernet import EpochStats, HyperNet, HyperNetTrainer
+from ..nas.space import DnnSpace
+from ..nn.data import SyntheticCifar
+from ..predict.dataset import PerfDataset, collect_samples
+from ..scale import ExperimentScale, get_scale
+from ..search.evaluator import FastEvaluator
+from ..search.reward import PAPER_T_EER_MJ, PAPER_T_LAT_MS, RewardSpec
+
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "clear_context_cache",
+    "demo_thresholds",
+    "scaled_reward",
+    "format_table",
+]
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the experiment harnesses share."""
+
+    scale: ExperimentScale
+    seed: int
+    dataset: SyntheticCifar
+    simulator: SystolicArraySimulator
+    hypernet: HyperNet
+    hypernet_history: list[EpochStats]
+    samples: PerfDataset
+    fast_evaluator: FastEvaluator
+    t_lat_ms: float
+    t_eer_mj: float
+
+    @property
+    def num_cells(self) -> int:
+        return self.scale.hypernet_cells
+
+    @property
+    def stem_channels(self) -> int:
+        return self.scale.hypernet_channels
+
+
+_CACHE: dict[tuple[str, int], ExperimentContext] = {}
+
+
+def clear_context_cache() -> None:
+    """Drop cached contexts (tests use this to force rebuilds)."""
+    _CACHE.clear()
+
+
+def demo_thresholds(
+    scale: ExperimentScale,
+    simulator: SystolicArraySimulator | None = None,
+    n_probe: int = 24,
+    seed: int = 1234,
+) -> tuple[float, float]:
+    """Mid-range (median) latency/energy thresholds for a given scale.
+
+    At paper scale the paper's own values are returned unchanged.
+    """
+    if scale.name == "paper":
+        return PAPER_T_LAT_MS, PAPER_T_EER_MJ
+    sim = simulator or SystolicArraySimulator()
+    rng = np.random.default_rng(seed)
+    space = DnnSpace()
+    lats, eers = [], []
+    for _ in range(n_probe):
+        report = sim.simulate_genotype(
+            space.sample(rng),
+            random_config(rng),
+            num_cells=scale.hypernet_cells,
+            stem_channels=scale.hypernet_channels,
+            image_size=scale.image_size,
+        )
+        lats.append(report.latency_ms)
+        eers.append(report.energy_mj)
+    return float(np.median(lats)), float(np.median(eers))
+
+
+def scaled_reward(spec: RewardSpec, context: "ExperimentContext") -> RewardSpec:
+    """A preset reward re-thresholded for the context's scale."""
+    return spec.scaled(context.t_lat_ms, context.t_eer_mj)
+
+
+def get_context(scale_name: str = "demo", seed: int = 0) -> ExperimentContext:
+    """Build (or fetch) the shared experiment context for a scale."""
+    key = (scale_name, seed)
+    if key in _CACHE:
+        return _CACHE[key]
+    scale = get_scale(scale_name)
+    dataset = SyntheticCifar(
+        image_size=scale.image_size,
+        train_size=scale.train_size,
+        val_size=scale.val_size,
+        test_size=scale.test_size,
+        seed=seed,
+    )
+    simulator = SystolicArraySimulator()
+    rng = np.random.default_rng(seed)
+    hypernet = HyperNet(
+        num_cells=scale.hypernet_cells,
+        stem_channels=scale.hypernet_channels,
+        num_classes=dataset.num_classes,
+        rng=rng,
+    )
+    trainer = HyperNetTrainer(hypernet, epochs=scale.hypernet_epochs, seed=seed)
+    trainer.fit(dataset, batch_size=scale.hypernet_batch)
+    samples = collect_samples(
+        scale.predictor_samples,
+        seed=seed + 1,
+        simulator=simulator,
+        num_cells=scale.hypernet_cells,
+        stem_channels=scale.hypernet_channels,
+        image_size=scale.image_size,
+        num_classes=dataset.num_classes,
+    )
+    # Evaluate search candidates on a fixed validation subset: large enough
+    # to rank sub-models, small enough for thousands of search iterations.
+    subset = min(96, scale.val_size)
+    fast_evaluator = FastEvaluator.from_samples(
+        hypernet,
+        dataset,
+        samples,
+        seed=seed,
+        num_cells=scale.hypernet_cells,
+        stem_channels=scale.hypernet_channels,
+        image_size=scale.image_size,
+        num_classes=dataset.num_classes,
+        eval_batch=subset,
+    )
+    fast_evaluator.val_images = dataset.val.images[:subset]
+    fast_evaluator.val_labels = dataset.val.labels[:subset]
+    t_lat, t_eer = demo_thresholds(scale, simulator=simulator)
+    context = ExperimentContext(
+        scale=scale,
+        seed=seed,
+        dataset=dataset,
+        simulator=simulator,
+        hypernet=hypernet,
+        hypernet_history=trainer.history,
+        samples=samples,
+        fast_evaluator=fast_evaluator,
+        t_lat_ms=t_lat,
+        t_eer_mj=t_eer,
+    )
+    _CACHE[key] = context
+    return context
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table (benchmark/report output)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep, *(fmt(r) for r in rows)])

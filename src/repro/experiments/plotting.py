@@ -1,0 +1,157 @@
+"""Terminal plotting for the paper's figures.
+
+The reproduction is headless, so figures are rendered as ASCII/Unicode
+charts: line charts for training/search curves (Fig. 5(a), 6(a)) and
+scatter plots for the trade-off clouds (Fig. 5(b), 6(b), 6(c)).  The
+benchmark and example scripts print these so a run visibly regenerates the
+*figures*, not just the numbers behind them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "scatter_chart", "histogram"]
+
+_LEVELS = " .:-=+*#%@"
+
+
+def _normalise(values: np.ndarray, lo: float, hi: float, steps: int) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - lo) / span * (steps - 1)
+    return np.clip(np.round(scaled).astype(int), 0, steps - 1)
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    width: int = 70,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more line series on a shared axis.
+
+    Each series is resampled to ``width`` columns; up to four series get
+    distinct glyphs.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    glyphs = "ox+*"
+    all_vals = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    if len(all_vals) == 0:
+        raise ValueError("empty series")
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), glyph in zip(series.items(), glyphs):
+        vals = np.asarray(values, dtype=float)
+        if len(vals) == 0:
+            continue
+        # Resample to the plot width.
+        idx = np.linspace(0, len(vals) - 1, width)
+        resampled = np.interp(idx, np.arange(len(vals)), vals)
+        rows = _normalise(resampled, lo, hi, height)
+        for col, row in enumerate(rows):
+            grid[height - 1 - row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{lo:10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), glyphs)
+    )
+    footer = legend
+    if x_label:
+        footer += f"   (x: {x_label})"
+    if y_label:
+        footer += f"   (y: {y_label})"
+    lines.append(" " * 12 + footer)
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    highlight: Sequence[tuple[float, float]] | None = None,
+) -> str:
+    """Render a density scatter plot; ``highlight`` points are drawn as ``●``."""
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.size == 0:
+        raise ValueError("x and y must be equal-length, non-empty")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+    counts = np.zeros((height, width), dtype=int)
+    cols = _normalise(xs, x_lo, x_hi, width)
+    rows = _normalise(ys, y_lo, y_hi, height)
+    for c, r in zip(cols, rows):
+        counts[height - 1 - r][c] += 1
+    peak = max(counts.max(), 1)
+    grid = [
+        [
+            _LEVELS[min(len(_LEVELS) - 1, int(math.ceil(c / peak * (len(_LEVELS) - 1))))]
+            for c in row
+        ]
+        for row in counts
+    ]
+    if highlight:
+        hx = np.asarray([p[0] for p in highlight])
+        hy = np.asarray([p[1] for p in highlight])
+        hcols = _normalise(hx, x_lo, x_hi, width)
+        hrows = _normalise(hy, y_lo, y_hi, height)
+        for c, r in zip(hcols, hrows):
+            grid[height - 1 - r][c] = "●"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:.4g} .. {x_hi:.4g}"
+        + (f"   (x: {x_label})" if x_label else "")
+        + (f"   (y: {y_label})" if y_label else "")
+        + ("   ●=highlight" if highlight else "")
+    )
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a horizontal-bar histogram."""
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValueError("empty values")
+    counts, edges = np.histogram(vals, bins=bins)
+    peak = max(counts.max(), 1)
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(count / peak * width))
+        lines.append(f"{lo:10.4g} – {hi:10.4g} │{bar} {count}")
+    return "\n".join(lines)

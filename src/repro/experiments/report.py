@@ -1,0 +1,117 @@
+"""One-shot report generator: every experiment, one markdown document.
+
+``python -m repro.experiments.report --scale smoke`` regenerates all paper
+artefacts at the chosen scale and emits a self-contained markdown report —
+the executable counterpart of EXPERIMENTS.md.  Useful for re-validating the
+reproduction on a new machine or after model changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .ablation import STRATEGIES, run_search_strategy_ablation
+from .common import ExperimentContext, format_table, get_context
+from .fig4 import run_fig4
+from .fig5 import run_fig5a, run_fig5b
+from .fig6 import run_fig6_tradeoff, run_fig6a
+from .table2 import run_table2
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    scale_name: str = "smoke",
+    seed: int = 0,
+    context: ExperimentContext | None = None,
+    iterations: int | None = None,
+    correlation_models: int | None = None,
+) -> str:
+    """Run every experiment and return the combined markdown report."""
+    context = context or get_context(scale_name, seed)
+    scale = context.scale
+    n_iter = iterations if iterations is not None else scale.search_iterations
+    n_corr = (
+        correlation_models
+        if correlation_models is not None
+        else scale.correlation_models
+    )
+    parts: list[str] = [
+        f"# YOSO reproduction report — scale `{scale.name}`, seed {seed}",
+        "",
+        f"Thresholds: t_lat = {context.t_lat_ms:.4f} ms, "
+        f"t_eer = {context.t_eer_mj:.4f} mJ.",
+    ]
+
+    # Fig. 4.
+    fig4 = run_fig4(scale_name, seed=seed)
+    parts += ["", "## Fig. 4 — performance-predictor comparison", "",
+              "```", fig4.to_text(), "```",
+              f"Best energy predictor: **{fig4.best('energy').model}**; "
+              f"best latency predictor: **{fig4.best('latency').model}**."]
+
+    # Fig. 5.
+    fig5a = run_fig5a(scale_name, seed)
+    parts += ["", "## Fig. 5(a) — HyperNet training", "",
+              "epoch accuracies: "
+              + ", ".join(f"{a:.3f}" for a in fig5a.accuracy)]
+    fig5b = run_fig5b(scale_name, seed, context=context, n_models=n_corr)
+    parts += ["", "## Fig. 5(b) — inherited vs stand-alone accuracy", "",
+              f"pearson r = {fig5b.pearson_r:.3f}, "
+              f"spearman rho = {fig5b.spearman_rho:.3f} over {n_corr} models"]
+
+    # Fig. 6.
+    fig6a = run_fig6a(scale_name, seed, context=context, iterations=n_iter)
+    parts += ["", "## Fig. 6(a) — RL vs random search", "",
+              f"RL: best {fig6a.rl_best:.4f}, tail-mean {fig6a.rl_tail_mean():.4f}; "
+              f"random: best {fig6a.random_best:.4f}, "
+              f"tail-mean {fig6a.random_tail_mean():.4f}"]
+    for which, label in (("energy", "Fig. 6(b)"), ("latency", "Fig. 6(c)")):
+        tr = run_fig6_tradeoff(which, scale_name, seed, context=context,
+                               iterations=n_iter)
+        distances = tr.front_distance_by_phase()
+        parts += ["", f"## {label} — accuracy-{which} trade-off", "",
+                  "distance to Pareto front by phase: "
+                  + " -> ".join(f"{d:.4f}" for d in distances)]
+
+    # Table 2 / Fig. 7.
+    table2 = run_table2(scale_name, seed, context=context, iterations=n_iter)
+    parts += ["", "## Table 2 / Fig. 7 — two-stage comparison", "",
+              "```", table2.to_text(), "```",
+              f"executed two-stage / Yoso_eer energy ratio: "
+              f"{table2.nas_energy_ratio():.2f}x; "
+              f"latency ratio: {table2.nas_latency_ratio():.2f}x"]
+
+    # Search-strategy ablation.
+    ablation = run_search_strategy_ablation(scale_name, seed, context=context,
+                                            iterations=max(10, n_iter // 2))
+    rows = [
+        [which, f"{ablation.best(which):.4f}", f"{ablation.tail_mean(which):.4f}"]
+        for which in STRATEGIES
+    ]
+    parts += ["", "## Search-strategy ablation", "", "```",
+              format_table(["strategy", "best", "tail-mean"], rows), "```"]
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "demo"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--output", default=None,
+                        help="write the report here instead of stdout")
+    args = parser.parse_args(argv)
+    report = generate_report(args.scale, args.seed, iterations=args.iterations)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Action-sequence encoding of a co-design point (Sec. III-C).
+
+A candidate solution is the concatenation of the DNN hyper-parameters and
+the accelerator configuration:
+
+    lambda = (d_1 .. d_S, c_1 .. c_L)   with S = 40, L = 4
+
+The 40 DNN tokens are, for each cell type (normal then reduction) and each
+of the 5 computed nodes, the quadruple ``(input1, input2, op1, op2)``.
+The 4 hardware tokens index the PE-array, g_buf, r_buf and dataflow choice
+lists of :mod:`repro.accel.config`.  Every position has its own vocabulary
+size (input choices grow with the node index), which the RL controller's
+per-step softmax heads consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..accel.config import (
+    DATAFLOW_CHOICES,
+    GBUF_KB_CHOICES,
+    PE_CHOICES,
+    RBUF_B_CHOICES,
+    AcceleratorConfig,
+)
+from .genotype import NUM_COMPUTED, CellGenotype, Genotype, NodeSpec
+from .ops import NUM_OPS, OP_NAMES, op_index
+
+__all__ = [
+    "SEQUENCE_LENGTH",
+    "DNN_TOKENS",
+    "HW_TOKENS",
+    "token_vocab_sizes",
+    "encode",
+    "decode",
+    "random_sequence",
+    "CoDesignPoint",
+]
+
+#: S = 40 DNN tokens (2 cells x 5 nodes x 4 choices), L = 4 hardware tokens.
+DNN_TOKENS: int = 2 * NUM_COMPUTED * 4
+HW_TOKENS: int = 4
+SEQUENCE_LENGTH: int = DNN_TOKENS + HW_TOKENS
+
+
+@dataclass(frozen=True)
+class CoDesignPoint:
+    """A decoded (DNN architecture, accelerator configuration) pair."""
+
+    genotype: Genotype
+    config: AcceleratorConfig
+
+    def describe(self) -> str:
+        return f"{self.genotype.name} @ {self.config.describe()}"
+
+
+def token_vocab_sizes() -> tuple[int, ...]:
+    """Vocabulary size of every one of the 44 sequence positions."""
+    sizes: list[int] = []
+    for _cell in range(2):
+        for node_idx in range(2, 2 + NUM_COMPUTED):
+            sizes.extend([node_idx, node_idx, NUM_OPS, NUM_OPS])
+    sizes.extend(
+        [len(PE_CHOICES), len(GBUF_KB_CHOICES), len(RBUF_B_CHOICES), len(DATAFLOW_CHOICES)]
+    )
+    return tuple(sizes)
+
+
+_VOCAB = token_vocab_sizes()
+
+
+def encode(point: CoDesignPoint) -> list[int]:
+    """Encode a co-design point as the 44-token action sequence."""
+    tokens: list[int] = []
+    for cell in (point.genotype.normal, point.genotype.reduce):
+        for node in cell.nodes:
+            tokens.extend(
+                [node.input1, node.input2, op_index(node.op1), op_index(node.op2)]
+            )
+    cfg = point.config
+    tokens.append(PE_CHOICES.index((cfg.pe_rows, cfg.pe_cols)))
+    tokens.append(GBUF_KB_CHOICES.index(cfg.gbuf_kb))
+    tokens.append(RBUF_B_CHOICES.index(cfg.rbuf_bytes))
+    tokens.append(DATAFLOW_CHOICES.index(cfg.dataflow))
+    _check(tokens)
+    return tokens
+
+
+def decode(tokens: list[int], name: str = "decoded") -> CoDesignPoint:
+    """Decode a 44-token action sequence back into a co-design point."""
+    _check(tokens)
+    cells: list[CellGenotype] = []
+    pos = 0
+    for _cell in range(2):
+        nodes: list[NodeSpec] = []
+        for _node in range(NUM_COMPUTED):
+            in1, in2, op1, op2 = tokens[pos : pos + 4]
+            pos += 4
+            nodes.append(NodeSpec(in1, in2, OP_NAMES[op1], OP_NAMES[op2]))
+        cells.append(CellGenotype(nodes=tuple(nodes)))
+    pe_idx, gbuf_idx, rbuf_idx, flow_idx = tokens[pos : pos + 4]
+    rows, cols = PE_CHOICES[pe_idx]
+    config = AcceleratorConfig(
+        pe_rows=rows,
+        pe_cols=cols,
+        gbuf_kb=GBUF_KB_CHOICES[gbuf_idx],
+        rbuf_bytes=RBUF_B_CHOICES[rbuf_idx],
+        dataflow=DATAFLOW_CHOICES[flow_idx],
+    )
+    genotype = Genotype(normal=cells[0], reduce=cells[1], name=name)
+    return CoDesignPoint(genotype=genotype, config=config)
+
+
+def random_sequence(rng: np.random.Generator) -> list[int]:
+    """Uniformly sample a valid token sequence."""
+    return [int(rng.integers(0, v)) for v in _VOCAB]
+
+
+def _check(tokens: list[int]) -> None:
+    if len(tokens) != SEQUENCE_LENGTH:
+        raise ValueError(f"sequence must have {SEQUENCE_LENGTH} tokens, got {len(tokens)}")
+    for i, (tok, vocab) in enumerate(zip(tokens, _VOCAB)):
+        if not 0 <= tok < vocab:
+            raise ValueError(f"token {tok} at position {i} out of range [0, {vocab})")

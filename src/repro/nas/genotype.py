@@ -1,0 +1,136 @@
+"""Cell genotypes for the YOSO search space.
+
+Sec. III-D: a cell is a DAG over ``B`` nodes (the paper uses ``B = 7``).
+Nodes 0 and 1 are the outputs of the previous two cells; each of the
+remaining ``B - 2`` *computed* nodes selects two previous nodes as inputs and
+applies one operation to each (Eq. 5):
+
+    I_i = theta_(i,j)(I_j) + theta_(i,k)(I_k)    with j < i and k < i
+
+The cell output is the concatenation of all *loose-end* computed nodes
+(nodes whose result feeds no other node).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .ops import OP_NAMES, get_op
+
+__all__ = ["NodeSpec", "CellGenotype", "Genotype", "NUM_NODES", "NUM_COMPUTED"]
+
+#: Number of nodes per cell (paper: B = 7; 2 inputs + 5 computed).
+NUM_NODES: int = 7
+NUM_COMPUTED: int = NUM_NODES - 2
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One computed node: two input node indices and two operation names."""
+
+    input1: int
+    input2: int
+    op1: str
+    op2: str
+
+    def validate(self, node_index: int) -> None:
+        """Check DAG constraints for this node at position ``node_index``."""
+        for inp in (self.input1, self.input2):
+            if not 0 <= inp < node_index:
+                raise ValueError(
+                    f"node {node_index}: input {inp} must be in [0, {node_index})"
+                )
+        for op in (self.op1, self.op2):
+            get_op(op)  # raises KeyError for unknown ops
+
+
+@dataclass(frozen=True)
+class CellGenotype:
+    """A full cell: an ordered tuple of :class:`NodeSpec` for nodes 2..B-1."""
+
+    nodes: tuple[NodeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != NUM_COMPUTED:
+            raise ValueError(
+                f"cell must have {NUM_COMPUTED} computed nodes, got {len(self.nodes)}"
+            )
+        for offset, node in enumerate(self.nodes):
+            node.validate(offset + 2)
+
+    # ------------------------------------------------------------------
+    def used_inputs(self) -> set[int]:
+        """Node indices consumed as an input by at least one computed node."""
+        used: set[int] = set()
+        for node in self.nodes:
+            used.add(node.input1)
+            used.add(node.input2)
+        return used
+
+    def loose_ends(self) -> tuple[int, ...]:
+        """Computed nodes that feed no other node — concatenated as output."""
+        used = self.used_inputs()
+        loose = tuple(i for i in range(2, NUM_NODES) if i not in used)
+        # At least the last node is always loose (nothing can consume it).
+        assert loose, "the final node can never be consumed"
+        return loose
+
+    def op_counts(self) -> dict[str, int]:
+        """Histogram of operation usage (features for the cost predictors)."""
+        counts = {name: 0 for name in OP_NAMES}
+        for node in self.nodes:
+            counts[node.op1] += 1
+            counts[node.op2] += 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": [
+                {"input1": n.input1, "input2": n.input2, "op1": n.op1, "op2": n.op2}
+                for n in self.nodes
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellGenotype":
+        return cls(
+            nodes=tuple(
+                NodeSpec(d["input1"], d["input2"], d["op1"], d["op2"])
+                for d in data["nodes"]
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Genotype:
+    """A complete architecture: one normal cell and one reduction cell.
+
+    The two cell types share structure; every op inside a reduction cell
+    whose input is a cell input (node 0 or 1) runs at stride 2 (Sec. III-D).
+    """
+
+    normal: CellGenotype
+    reduce: CellGenotype
+    name: str = "unnamed"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"name": self.name, "normal": self.normal.to_dict(), "reduce": self.reduce.to_dict()}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Genotype":
+        data = json.loads(text)
+        return cls(
+            normal=CellGenotype.from_dict(data["normal"]),
+            reduce=CellGenotype.from_dict(data["reduce"]),
+            name=data.get("name", "unnamed"),
+        )
+
+    def op_counts(self) -> dict[str, int]:
+        """Combined op histogram over both cells."""
+        counts = self.normal.op_counts()
+        for name, c in self.reduce.op_counts().items():
+            counts[name] += c
+        return counts

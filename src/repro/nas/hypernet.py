@@ -1,0 +1,321 @@
+"""The one-shot HyperNet (Sec. III-D).
+
+The HyperNet holds *every* candidate operation of *every* edge of every
+cell; a candidate DNN architecture is a single path through it and inherits
+its weights.  Training follows the paper's uniform single-path strategy
+(Eq. 6): each step uniformly samples one sub-model and updates only the
+parameters on its path.  Evaluation of a candidate is then a single test
+run with inherited weights, replacing full training.
+
+Implementation notes
+--------------------
+* Each edge ``(cell, node i, predecessor j, op)`` owns a distinct module, so
+  stride assignment in reduction cells (stride 2 from cell inputs) is fixed
+  per module.
+* Because the cell output concatenates only *loose-end* nodes, the input
+  width of the next cell's 1x1 preprocessing depends on the sampled
+  genotype.  The HyperNet therefore keeps one preprocessing (and classifier)
+  variant per possible width — all variants are created eagerly so the
+  parameter ordering is deterministic.
+* Sub-model accuracy is evaluated with batch statistics (training-mode
+  batch norm): one-shot supernets share running statistics across paths,
+  which would otherwise bias the ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..accel.workload import reduction_positions
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    FactorizedReduce,
+    GlobalAvgPool,
+    Linear,
+    ReLUConvBN,
+    Sequential,
+)
+from ..nn.module import Module
+from ..nn.optim import SGD, CosineSchedule, clip_grad_norm
+from .genotype import NUM_COMPUTED, NUM_NODES, CellGenotype, Genotype
+from .network import _accumulate
+from .ops import OP_NAMES, build_op
+from .space import DnnSpace
+
+__all__ = ["MixedCell", "HyperNet", "HyperNetTrainer", "EpochStats"]
+
+
+class MixedCell(Module):
+    """A cell containing all candidate ops for all edges."""
+
+    def __init__(
+        self,
+        c_prev_prev_base: int,
+        c_prev_base: int,
+        prev_prev_multiples: tuple[int, ...],
+        prev_multiples: tuple[int, ...],
+        channels: int,
+        reduction: bool,
+        reduction_prev: bool,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.channels = channels
+        self.reduction = reduction
+        # One preprocessing variant per possible incoming width.
+        self.preprocess0: dict[int, Module] = {}
+        for mult in prev_prev_multiples:
+            c_in = c_prev_prev_base * mult
+            if reduction_prev:
+                self.preprocess0[c_in] = FactorizedReduce(c_in, channels, rng=rng)
+            else:
+                self.preprocess0[c_in] = ReLUConvBN(c_in, channels, kernel=1, rng=rng)
+        self.preprocess1: dict[int, Module] = {
+            c_prev_base * mult: ReLUConvBN(c_prev_base * mult, channels, kernel=1, rng=rng)
+            for mult in prev_multiples
+        }
+        # All candidate edge ops: keyed (node index, predecessor, op name).
+        self.edge_ops: dict[tuple[int, int, str], Module] = {}
+        for node_idx in range(2, NUM_NODES):
+            for pred in range(node_idx):
+                stride = 2 if (reduction and pred < 2) else 1
+                for op_name in OP_NAMES:
+                    self.edge_ops[(node_idx, pred, op_name)] = build_op(
+                        op_name, channels, channels, stride, rng
+                    )
+        self._active: list[tuple[Module, Module]] | None = None
+        self._spec: CellGenotype | None = None
+        self._pre: tuple[Module, Module] | None = None
+        self._states: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def forward(self, s0: np.ndarray, s1: np.ndarray, spec: CellGenotype) -> np.ndarray:  # type: ignore[override]
+        pre0 = self.preprocess0[s0.shape[1]]
+        pre1 = self.preprocess1[s1.shape[1]]
+        states = [pre0(s0), pre1(s1)]
+        active: list[tuple[Module, Module]] = []
+        for offset, node in enumerate(spec.nodes):
+            node_idx = offset + 2
+            op_a = self.edge_ops[(node_idx, node.input1, node.op1)]
+            op_b = self.edge_ops[(node_idx, node.input2, node.op2)]
+            states.append(op_a(states[node.input1]) + op_b(states[node.input2]))
+            active.append((op_a, op_b))
+        self._active, self._spec, self._pre, self._states = active, spec, (pre0, pre1), states
+        return np.concatenate([states[i] for i in spec.loose_ends()], axis=1)
+
+    def __call__(self, s0: np.ndarray, s1: np.ndarray, spec: CellGenotype) -> np.ndarray:  # type: ignore[override]
+        return self.forward(s0, s1, spec)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        if self._spec is None or self._active is None or self._pre is None:
+            raise RuntimeError("backward before forward")
+        spec, c = self._spec, self.channels
+        node_grads: list[np.ndarray | None] = [None] * NUM_NODES
+        for pos, node_idx in enumerate(spec.loose_ends()):
+            node_grads[node_idx] = np.ascontiguousarray(grad_out[:, pos * c : (pos + 1) * c])
+        for offset in range(len(spec.nodes) - 1, -1, -1):
+            node_idx = offset + 2
+            g = node_grads[node_idx]
+            if g is None:
+                continue
+            node = spec.nodes[offset]
+            op_a, op_b = self._active[offset]
+            _accumulate(node_grads, node.input1, op_a.backward(g))
+            _accumulate(node_grads, node.input2, op_b.backward(g))
+        assert self._states is not None
+        g0 = node_grads[0] if node_grads[0] is not None else np.zeros_like(self._states[0])
+        g1 = node_grads[1] if node_grads[1] is not None else np.zeros_like(self._states[1])
+        pre0, pre1 = self._pre
+        return pre0.backward(g0), pre1.backward(g1)
+
+
+class HyperNet(Module):
+    """The full weight-sharing supernet."""
+
+    def __init__(
+        self,
+        num_cells: int = 6,
+        stem_channels: int = 16,
+        num_classes: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_cells = num_cells
+        self.stem_channels = stem_channels
+        self.num_classes = num_classes
+        self.space = DnnSpace()
+        self.stem = Sequential(
+            Conv2d(3, stem_channels, kernel=3, rng=rng), BatchNorm2d(stem_channels)
+        )
+        reduction_at = set(reduction_positions(num_cells))
+        loose_multiples = tuple(range(1, NUM_COMPUTED + 1))
+        channels = stem_channels
+        # (base channels, possible multiples) per produced state; the stem
+        # state has a fixed width.
+        bases = [(stem_channels, (1,)), (stem_channels, (1,))]
+        reduction_prev = False
+        self.cells: list[MixedCell] = []
+        for idx in range(num_cells):
+            reduction = idx in reduction_at
+            if reduction:
+                channels *= 2
+            (c_pp, mult_pp), (c_p, mult_p) = bases[idx], bases[idx + 1]
+            self.cells.append(
+                MixedCell(
+                    c_pp, c_p, mult_pp, mult_p, channels, reduction, reduction_prev, rng
+                )
+            )
+            bases.append((channels, loose_multiples))
+            reduction_prev = reduction
+        final_base, final_multiples = bases[-1]
+        self.global_pool = GlobalAvgPool()
+        self.classifiers: dict[int, Linear] = {
+            final_base * mult: Linear(final_base * mult, num_classes, rng=rng)
+            for mult in final_multiples
+        }
+        self._active_classifier: Linear | None = None
+
+    # ------------------------------------------------------------------
+    def sample_genotype(self, rng: np.random.Generator, name: str = "sampled") -> Genotype:
+        """Uniformly sample a sub-model path (Eq. 6)."""
+        return self.space.sample(rng, name=name)
+
+    def forward(self, x: np.ndarray, genotype: Genotype) -> np.ndarray:  # type: ignore[override]
+        s0 = s1 = self.stem(x)
+        for cell in self.cells:
+            spec = genotype.reduce if cell.reduction else genotype.normal
+            s0, s1 = s1, cell(s0, s1, spec)
+        pooled = self.global_pool(s1)
+        self._active_classifier = self.classifiers[pooled.shape[1]]
+        return self._active_classifier(pooled)
+
+    def __call__(self, x: np.ndarray, genotype: Genotype) -> np.ndarray:  # type: ignore[override]
+        return self.forward(x, genotype)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._active_classifier is None:
+            raise RuntimeError("backward before forward")
+        grad = self.global_pool.backward(self._active_classifier.backward(grad_out))
+        grads: list[np.ndarray | None] = [None] * (self.num_cells + 2)
+        grads[-1] = grad
+        for idx in range(self.num_cells - 1, -1, -1):
+            g_out = grads[idx + 2]
+            assert g_out is not None
+            g0, g1 = self.cells[idx].backward(g_out)
+            _accumulate(grads, idx, g0)
+            _accumulate(grads, idx + 1, g1)
+        assert grads[0] is not None and grads[1] is not None
+        return self.stem.backward(grads[0] + grads[1])
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        genotype: Genotype,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+    ) -> float:
+        """Accuracy of a sub-model with inherited weights (single test run).
+
+        Uses training-mode batch norm (batch statistics) — see module
+        docstring for why this is required in a weight-sharing supernet.
+        """
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            x = images[start : start + batch_size]
+            y = labels[start : start + batch_size]
+            logits = self.forward(x, genotype)
+            correct += int((logits.argmax(axis=1) == y).sum())
+        return correct / len(labels)
+
+
+@dataclass
+class EpochStats:
+    """Summary of one HyperNet training epoch."""
+
+    epoch: int
+    loss: float
+    accuracy: float
+    lr: float
+
+
+class HyperNetTrainer:
+    """Uniform-sampling single-path trainer (paper recipe, Sec. IV-B).
+
+    SGD with momentum 0.9, L2 weight decay 4e-5 and cosine learning-rate
+    decay 0.05 -> 0.0001 over the training epochs.
+    """
+
+    def __init__(
+        self,
+        hypernet: HyperNet,
+        epochs: int = 300,
+        lr_max: float = 0.05,
+        lr_min: float = 0.0001,
+        momentum: float = 0.9,
+        weight_decay: float = 4e-5,
+        grad_clip: float = 5.0,
+        seed: int = 0,
+        sampling: str = "uniform",
+    ) -> None:
+        if sampling not in ("uniform", "biased"):
+            raise ValueError("sampling must be 'uniform' or 'biased'")
+        self.hypernet = hypernet
+        self.sampling = sampling
+        self.epochs = epochs
+        self.optimiser = SGD(
+            hypernet.parameters(), lr=lr_max, momentum=momentum, weight_decay=weight_decay
+        )
+        self.schedule = CosineSchedule(lr_max, lr_min, total_steps=max(epochs, 1))
+        self.grad_clip = grad_clip
+        self.rng = np.random.default_rng(seed)
+        self.history: list[EpochStats] = []
+
+    def train_epoch(self, batches, epoch: int) -> EpochStats:
+        """One pass over ``batches`` with a fresh uniform path per batch."""
+        from ..nn import functional as F
+
+        lr = self.schedule.apply(self.optimiser, epoch)
+        self.hypernet.train()
+        total_loss = 0.0
+        total_correct = 0
+        total_seen = 0
+        for x, y in batches:
+            if self.sampling == "biased":
+                genotype = self.hypernet.space.sample_biased(self.rng)
+            else:
+                genotype = self.hypernet.sample_genotype(self.rng)
+            self.optimiser.zero_grad()
+            logits = self.hypernet.forward(x, genotype)
+            loss, grad = F.softmax_cross_entropy(logits, y)
+            self.hypernet.backward(grad)
+            clip_grad_norm(self.hypernet.parameters(), self.grad_clip)
+            self.optimiser.step()
+            total_loss += loss * len(y)
+            total_correct += int((logits.argmax(axis=1) == y).sum())
+            total_seen += len(y)
+        stats = EpochStats(
+            epoch=epoch,
+            loss=total_loss / max(total_seen, 1),
+            accuracy=total_correct / max(total_seen, 1),
+            lr=lr,
+        )
+        self.history.append(stats)
+        return stats
+
+    def fit(self, dataset, batch_size: int = 64, augment: bool = True) -> list[EpochStats]:
+        """Train for the configured number of epochs on ``dataset``."""
+        for epoch in range(self.epochs):
+            batches = dataset.batches(
+                "train",
+                batch_size=batch_size,
+                shuffle=True,
+                augment=augment,
+                rng=self.rng,
+            )
+            self.train_epoch(batches, epoch)
+        return self.history

@@ -1,0 +1,195 @@
+"""Concrete (stand-alone) networks built from a genotype.
+
+``CellNetwork`` mirrors the paper's evaluation networks: a 3x3 stem
+convolution, ``num_cells`` cells with reduction cells at 1/3 and 2/3 depth
+(the paper's HyperNet uses 6 cells = 4 normal + 2 reduction), global average
+pooling and a linear classifier.  The cell DAG follows Eq. 5: every computed
+node is the sum of two operations applied to two previous nodes, and the
+cell output concatenates the loose-end nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..accel.workload import reduction_positions
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    FactorizedReduce,
+    GlobalAvgPool,
+    Linear,
+    ReLUConvBN,
+    Sequential,
+)
+from ..nn.module import Module
+from .genotype import NUM_NODES, CellGenotype, Genotype
+from .ops import build_op
+
+__all__ = ["Cell", "CellNetwork"]
+
+
+class Cell(Module):
+    """One concrete cell instance with fixed operations.
+
+    Parameters
+    ----------
+    spec:
+        The cell genotype to instantiate.
+    c_prev_prev, c_prev:
+        Channel counts of the two incoming states.
+    channels:
+        Internal channel count of this cell (every node has this width).
+    reduction:
+        Whether this is a reduction cell (input edges run at stride 2).
+    reduction_prev:
+        Whether the *previous* cell was a reduction cell, in which case the
+        older input state has twice the spatial size and is aligned with a
+        strided 1x1 (factorised reduce).
+    """
+
+    def __init__(
+        self,
+        spec: CellGenotype,
+        c_prev_prev: int,
+        c_prev: int,
+        channels: int,
+        reduction: bool,
+        reduction_prev: bool,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.spec = spec
+        self.reduction = reduction
+        if reduction_prev:
+            self.preprocess0: Module = FactorizedReduce(c_prev_prev, channels, rng=rng)
+        else:
+            self.preprocess0 = ReLUConvBN(c_prev_prev, channels, kernel=1, rng=rng)
+        self.preprocess1 = ReLUConvBN(c_prev, channels, kernel=1, rng=rng)
+        # Two op modules per computed node, in genotype order.
+        self.ops: list[tuple[Module, Module]] = []
+        for offset, node in enumerate(spec.nodes):
+            ops_pair = []
+            for inp, op_name in ((node.input1, node.op1), (node.input2, node.op2)):
+                stride = 2 if (reduction and inp < 2) else 1
+                ops_pair.append(build_op(op_name, channels, channels, stride, rng))
+            self.ops.append((ops_pair[0], ops_pair[1]))
+        self.loose = spec.loose_ends()
+        self.out_channels = channels * len(self.loose)
+        self.channels = channels
+        self._states: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def forward(self, s0: np.ndarray, s1: np.ndarray) -> np.ndarray:  # type: ignore[override]
+        states = [self.preprocess0(s0), self.preprocess1(s1)]
+        for (op_a, op_b), node in zip(self.ops, self.spec.nodes):
+            out = op_a(states[node.input1]) + op_b(states[node.input2])
+            states.append(out)
+        self._states = states
+        return np.concatenate([states[i] for i in self.loose], axis=1)
+
+    def __call__(self, s0: np.ndarray, s1: np.ndarray) -> np.ndarray:  # type: ignore[override]
+        return self.forward(s0, s1)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
+        """Backpropagate through the cell DAG.
+
+        Returns gradients w.r.t. the two input states ``(s0, s1)``.
+        """
+        if self._states is None:
+            raise RuntimeError("backward before forward")
+        c = self.channels
+        node_grads: list[np.ndarray | None] = [None] * NUM_NODES
+        for pos, node_idx in enumerate(self.loose):
+            node_grads[node_idx] = np.ascontiguousarray(
+                grad_out[:, pos * c : (pos + 1) * c]
+            )
+        # Reverse topological order over computed nodes.
+        for offset in range(len(self.spec.nodes) - 1, -1, -1):
+            node_idx = offset + 2
+            g = node_grads[node_idx]
+            if g is None:  # node feeds nothing (can happen only for loose ends)
+                continue
+            node = self.spec.nodes[offset]
+            op_a, op_b = self.ops[offset]
+            _accumulate(node_grads, node.input1, op_a.backward(g))
+            _accumulate(node_grads, node.input2, op_b.backward(g))
+        zero0 = np.zeros_like(self._states[0])
+        zero1 = np.zeros_like(self._states[1])
+        g0 = node_grads[0] if node_grads[0] is not None else zero0
+        g1 = node_grads[1] if node_grads[1] is not None else zero1
+        return self.preprocess0.backward(g0), self.preprocess1.backward(g1)
+
+
+def _accumulate(grads: list, idx: int, value: np.ndarray) -> None:
+    if grads[idx] is None:
+        grads[idx] = value
+    else:
+        grads[idx] = grads[idx] + value
+
+
+class CellNetwork(Module):
+    """Stand-alone trainable network built from a :class:`Genotype`."""
+
+    def __init__(
+        self,
+        genotype: Genotype,
+        num_cells: int = 6,
+        stem_channels: int = 16,
+        num_classes: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.genotype = genotype
+        self.num_cells = num_cells
+        self.stem_channels = stem_channels
+        self.num_classes = num_classes
+        self.stem = Sequential(
+            Conv2d(3, stem_channels, kernel=3, rng=rng), BatchNorm2d(stem_channels)
+        )
+        reduction_at = set(reduction_positions(num_cells))
+        channels = stem_channels
+        c_prev_prev, c_prev = stem_channels, stem_channels
+        reduction_prev = False
+        self.cells: list[Cell] = []
+        for idx in range(num_cells):
+            reduction = idx in reduction_at
+            if reduction:
+                channels *= 2
+            cell = Cell(
+                genotype.reduce if reduction else genotype.normal,
+                c_prev_prev,
+                c_prev,
+                channels,
+                reduction,
+                reduction_prev,
+                rng,
+            )
+            self.cells.append(cell)
+            c_prev_prev, c_prev = c_prev, cell.out_channels
+            reduction_prev = reduction
+        self.global_pool = GlobalAvgPool()
+        self.classifier = Linear(c_prev, num_classes, rng=rng)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        s0 = s1 = self.stem(x)
+        for cell in self.cells:
+            s0, s1 = s1, cell(s0, s1)
+        return self.classifier(self.global_pool(s1))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.global_pool.backward(self.classifier.backward(grad_out))
+        # States chain: index i is the input s0 of cell i; cell i consumed
+        # states (i, i+1) and produced state (i+2).
+        grads: list[np.ndarray | None] = [None] * (self.num_cells + 2)
+        grads[-1] = grad
+        for idx in range(self.num_cells - 1, -1, -1):
+            g_out = grads[idx + 2]
+            assert g_out is not None
+            g0, g1 = self.cells[idx].backward(g_out)
+            _accumulate(grads, idx, g0)
+            _accumulate(grads, idx + 1, g1)
+        assert grads[0] is not None and grads[1] is not None
+        return self.stem.backward(grads[0] + grads[1])

@@ -1,0 +1,107 @@
+"""Search-space definition and uniform sampling.
+
+The DNN side follows Sec. III-D: per computed node, choose 2 predecessors
+and 2 of the 6 operations.  The paper states the resulting DNN space size as
+``(6 x (B-2)!)^4 ~= 5e11``.  The hardware side (Table 1) is a small discrete
+space enumerated in :mod:`repro.accel.config`; combining both yields the
+"2-dimensional" co-design space YOSO searches in a single stage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .genotype import NUM_COMPUTED, CellGenotype, Genotype, NodeSpec
+from .ops import NUM_OPS, OP_NAMES
+
+__all__ = ["DnnSpace", "paper_space_size"]
+
+
+def paper_space_size(num_nodes: int = 7, num_ops: int = NUM_OPS) -> float:
+    """The paper's closed-form DNN-space size estimate ``(ops*(B-2)!)^4``.
+
+    The exponent 4 reflects (2 ops + 2 input selections) per node across the
+    two cell types; the paper quotes ~5x10^11 for B = 7, 6 ops.
+    """
+    b = num_nodes
+    return float((num_ops * math.factorial(b - 2)) ** 4)
+
+
+@dataclass
+class DnnSpace:
+    """The cell-based DNN architecture space.
+
+    Provides uniform sampling (used for HyperNet training, random search and
+    predictor data collection) and exact size accounting for our encoding.
+    """
+
+    num_computed: int = NUM_COMPUTED
+    op_names: tuple[str, ...] = OP_NAMES
+
+    # ------------------------------------------------------------------
+    def sample_cell(self, rng: np.random.Generator) -> CellGenotype:
+        """Uniformly sample one cell (Eq. 6's uniform policy)."""
+        nodes = []
+        for i in range(2, 2 + self.num_computed):
+            in1 = int(rng.integers(0, i))
+            in2 = int(rng.integers(0, i))
+            op1 = self.op_names[int(rng.integers(0, len(self.op_names)))]
+            op2 = self.op_names[int(rng.integers(0, len(self.op_names)))]
+            nodes.append(NodeSpec(in1, in2, op1, op2))
+        return CellGenotype(nodes=tuple(nodes))
+
+    def sample(self, rng: np.random.Generator, name: str = "random") -> Genotype:
+        """Uniformly sample a full genotype (normal + reduction cell)."""
+        return Genotype(normal=self.sample_cell(rng), reduce=self.sample_cell(rng), name=name)
+
+    # ------------------------------------------------------------------
+    def sample_cell_biased(self, rng: np.random.Generator, bias: float = 0.75) -> CellGenotype:
+        """A deliberately *biased* path sampler (ablation of Sec. III-D).
+
+        The paper argues that biased sampling — where some sub-models are
+        trained far more often than others — "confuses the HyperNet to rank
+        the sub-models".  This sampler prefers the first operation and the
+        immediately preceding node with probability ``bias``; the uniform
+        sampler is :meth:`sample_cell`.
+        """
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError("bias must be in [0, 1]")
+        nodes = []
+        for i in range(2, 2 + self.num_computed):
+            def pick_input() -> int:
+                if rng.random() < bias:
+                    return i - 1
+                return int(rng.integers(0, i))
+
+            def pick_op() -> str:
+                if rng.random() < bias:
+                    return self.op_names[0]
+                return self.op_names[int(rng.integers(0, len(self.op_names)))]
+
+            nodes.append(NodeSpec(pick_input(), pick_input(), pick_op(), pick_op()))
+        return CellGenotype(nodes=tuple(nodes))
+
+    def sample_biased(
+        self, rng: np.random.Generator, bias: float = 0.75, name: str = "biased"
+    ) -> Genotype:
+        """Biased counterpart of :meth:`sample` (HyperNet-training ablation)."""
+        return Genotype(
+            normal=self.sample_cell_biased(rng, bias),
+            reduce=self.sample_cell_biased(rng, bias),
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    def cell_count(self) -> int:
+        """Exact number of distinct cell encodings under our token scheme."""
+        total = 1
+        for i in range(2, 2 + self.num_computed):
+            total *= i * i * len(self.op_names) * len(self.op_names)
+        return total
+
+    def size(self) -> int:
+        """Exact number of distinct (normal, reduce) genotype encodings."""
+        return self.cell_count() ** 2

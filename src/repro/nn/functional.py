@@ -1,0 +1,372 @@
+"""Numerical kernels for the numpy deep-learning substrate.
+
+Every function here is a pure forward or backward computation on
+``numpy.ndarray`` inputs.  Convolutions use an im2col lowering with the
+column layout ``(N, C*K*K, OH*OW)``: building it only needs K*K contiguous
+slice copies (no strided gathers), and the convolution itself becomes one
+batched BLAS ``matmul`` whose output reshapes to NCHW for free.
+
+Array layout is NCHW throughout; compute dtype is float32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DTYPE = np.float32
+
+__all__ = [
+    "DTYPE",
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "depthwise_conv2d_forward",
+    "depthwise_conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "avgpool2d_forward",
+    "avgpool2d_backward",
+    "relu_forward",
+    "relu_backward",
+    "batchnorm_forward",
+    "batchnorm_backward",
+    "linear_forward",
+    "linear_backward",
+    "softmax",
+    "softmax_cross_entropy",
+    "global_avgpool_forward",
+    "global_avgpool_backward",
+    "pad_same",
+    "conv_out_size",
+]
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial size of a convolution/pooling window sweep."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def pad_same(kernel: int) -> int:
+    """Padding that preserves spatial size at stride 1 for odd kernels."""
+    return (kernel - 1) // 2
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int, pad_value: float = 0.0
+) -> np.ndarray:
+    """Lower sliding windows of ``x`` into column form.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel, stride, pad:
+        Square window geometry.
+    pad_value:
+        Fill value for the padded border (``-inf`` for max pooling).
+
+    Returns
+    -------
+    Array of shape ``(N, C * kernel * kernel, OH * OW)``.
+    """
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kernel, stride, pad)
+    ow = conv_out_size(w, kernel, stride, pad)
+    if pad > 0:
+        xp = np.full(
+            (n, c, h + 2 * pad, w + 2 * pad), pad_value, dtype=x.dtype
+        )
+        xp[:, :, pad : pad + h, pad : pad + w] = x
+    else:
+        xp = x
+    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=x.dtype)
+    for ki in range(kernel):
+        h_end = ki + stride * oh
+        for kj in range(kernel):
+            w_end = kj + stride * ow
+            cols[:, :, ki, kj] = xp[:, :, ki:h_end:stride, kj:w_end:stride]
+    return cols.reshape(n, c * kernel * kernel, oh * ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to image layout."""
+    n, c, h, w = x_shape
+    oh = conv_out_size(h, kernel, stride, pad)
+    ow = conv_out_size(w, kernel, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kernel, kernel, oh, ow)
+    for ki in range(kernel):
+        h_end = ki + stride * oh
+        for kj in range(kernel):
+            w_end = kj + stride * ow
+            x[:, :, ki:h_end:stride, kj:w_end:stride] += cols6[:, :, ki, kj]
+    if pad > 0:
+        return x[:, :, pad : pad + h, pad : pad + w]
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: int, pad: int
+) -> tuple[np.ndarray, tuple]:
+    """Standard convolution.
+
+    ``weight`` has shape ``(K, C, R, S)`` with square ``R == S`` kernels.
+    Returns ``(out, cache)`` with ``out`` of shape ``(N, K, OH, OW)``.
+    """
+    n, c, h, w = x.shape
+    k, cw, r, s = weight.shape
+    if cw != c or r != s:
+        raise ValueError(f"weight shape {weight.shape} incompatible with input {x.shape}")
+    cols = im2col(x, r, stride, pad)  # (N, C*R*S, P)
+    w2 = weight.reshape(k, -1)
+    out = np.matmul(w2, cols)  # (N, K, P)
+    oh = conv_out_size(h, r, stride, pad)
+    ow = conv_out_size(w, r, stride, pad)
+    cache = (cols, x.shape, weight, stride, pad)
+    return out.reshape(n, k, oh, ow), cache
+
+
+def conv2d_backward(grad_out: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(grad_x, grad_weight)``.
+    """
+    cols, x_shape, weight, stride, pad = cache
+    k = weight.shape[0]
+    r = weight.shape[2]
+    n = grad_out.shape[0]
+    g = grad_out.reshape(n, k, -1)  # (N, K, P)
+    # grad_w[k, ckk] = sum_n g[n] @ cols[n].T
+    grad_w = np.einsum("nkp,ncp->kc", g, cols, optimize=True).reshape(weight.shape)
+    grad_cols = np.matmul(weight.reshape(k, -1).T, g)  # (N, C*R*S, P)
+    grad_x = col2im(grad_cols, x_shape, r, stride, pad)
+    return grad_x, grad_w
+
+
+# ---------------------------------------------------------------------------
+# Depthwise convolution
+# ---------------------------------------------------------------------------
+
+
+def depthwise_conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: int, pad: int
+) -> tuple[np.ndarray, tuple]:
+    """Depthwise convolution: one ``(R, S)`` filter per input channel.
+
+    ``weight`` has shape ``(C, R, S)``.  Returns ``(out, cache)`` with ``out``
+    of shape ``(N, C, OH, OW)``.
+    """
+    n, c, h, w = x.shape
+    cw, r, s = weight.shape
+    if cw != c or r != s:
+        raise ValueError(f"weight shape {weight.shape} incompatible with input {x.shape}")
+    cols = im2col(x, r, stride, pad)  # (N, C*R*S, P)
+    oh = conv_out_size(h, r, stride, pad)
+    ow = conv_out_size(w, r, stride, pad)
+    cols4 = cols.reshape(n, c, r * s, -1)
+    out = np.einsum("nckp,ck->ncp", cols4, weight.reshape(c, r * s), optimize=True)
+    cache = (cols, x.shape, weight, stride, pad)
+    return out.reshape(n, c, oh, ow), cache
+
+
+def depthwise_conv2d_backward(
+    grad_out: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray]:
+    """Backward pass of :func:`depthwise_conv2d_forward`."""
+    cols, x_shape, weight, stride, pad = cache
+    c, r, _ = weight.shape
+    n = grad_out.shape[0]
+    g = grad_out.reshape(n, c, -1)  # (N, C, P)
+    cols4 = cols.reshape(n, c, r * r, -1)
+    grad_w = np.einsum("ncp,nckp->ck", g, cols4, optimize=True).reshape(weight.shape)
+    grad_cols = g[:, :, None, :] * weight.reshape(1, c, r * r, 1)
+    grad_x = col2im(grad_cols.reshape(n, c * r * r, -1), x_shape, r, stride, pad)
+    return grad_x, grad_w
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> tuple[np.ndarray, tuple]:
+    """Max pooling.  Padded cells are ``-inf`` so they never win the max."""
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kernel, stride, pad)
+    ow = conv_out_size(w, kernel, stride, pad)
+    cols = im2col(x, kernel, stride, pad, pad_value=-np.inf)
+    cols4 = cols.reshape(n, c, kernel * kernel, oh * ow)
+    arg = np.argmax(cols4, axis=2)  # (N, C, P)
+    out = np.take_along_axis(cols4, arg[:, :, None, :], axis=2)[:, :, 0, :]
+    cache = (arg, x.shape, kernel, stride, pad)
+    return out.reshape(n, c, oh, ow), cache
+
+
+def maxpool2d_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    """Route gradients to the argmax cell of every window."""
+    arg, x_shape, kernel, stride, pad = cache
+    n, c, oh, ow = grad_out.shape
+    cols4 = np.zeros((n, c, kernel * kernel, oh * ow), dtype=grad_out.dtype)
+    np.put_along_axis(
+        cols4, arg[:, :, None, :], grad_out.reshape(n, c, 1, -1), axis=2
+    )
+    return col2im(cols4.reshape(n, c * kernel * kernel, -1), x_shape, kernel, stride, pad)
+
+
+def avgpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> tuple[np.ndarray, tuple]:
+    """Average pooling (count includes padded zeros, matching common practice)."""
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kernel, stride, pad)
+    ow = conv_out_size(w, kernel, stride, pad)
+    cols = im2col(x, kernel, stride, pad)
+    cols4 = cols.reshape(n, c, kernel * kernel, oh * ow)
+    out = cols4.mean(axis=2)
+    cache = (x.shape, kernel, stride, pad)
+    return out.reshape(n, c, oh, ow), cache
+
+
+def avgpool2d_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    """Spread gradients uniformly over each window."""
+    x_shape, kernel, stride, pad = cache
+    n, c, oh, ow = grad_out.shape
+    kk = kernel * kernel
+    g = grad_out.reshape(n, c, 1, oh * ow) / kk
+    cols4 = np.broadcast_to(g, (n, c, kk, oh * ow))
+    return col2im(
+        np.ascontiguousarray(cols4).reshape(n, c * kk, -1), x_shape, kernel, stride, pad
+    )
+
+
+def global_avgpool_forward(x: np.ndarray) -> tuple[np.ndarray, tuple]:
+    """Global average pool to shape ``(N, C)``."""
+    out = x.mean(axis=(2, 3))
+    return out, (x.shape,)
+
+
+def global_avgpool_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    (x_shape,) = cache
+    n, c, h, w = x_shape
+    return np.broadcast_to(
+        (grad_out / (h * w))[:, :, None, None], x_shape
+    ).astype(grad_out.dtype, copy=True)
+
+
+# ---------------------------------------------------------------------------
+# Pointwise / dense
+# ---------------------------------------------------------------------------
+
+
+def relu_forward(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    mask = x > 0
+    return x * mask, mask
+
+
+def relu_backward(grad_out: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    return grad_out * mask
+
+
+def linear_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+) -> tuple[np.ndarray, tuple]:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` shape ``(out, in)``."""
+    out = x @ weight.T + bias
+    return out, (x, weight)
+
+
+def linear_backward(
+    grad_out: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    x, weight = cache
+    grad_x = grad_out @ weight
+    grad_w = grad_out.T @ x
+    grad_b = grad_out.sum(axis=0)
+    return grad_x, grad_w, grad_b
+
+
+def batchnorm_forward(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    momentum: float,
+    eps: float,
+    training: bool,
+) -> tuple[np.ndarray, tuple | None]:
+    """Batch normalisation over the channel axis of an NCHW tensor.
+
+    In training mode the running statistics are updated in place and a cache
+    for the backward pass is returned; in eval mode the cache is ``None``.
+    """
+    if training:
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean, var = running_mean, running_var
+    inv_std = (1.0 / np.sqrt(var + eps)).astype(x.dtype)
+    xhat = (x - mean.astype(x.dtype)[None, :, None, None]) * inv_std[None, :, None, None]
+    out = gamma.astype(x.dtype)[None, :, None, None] * xhat
+    out += beta.astype(x.dtype)[None, :, None, None]
+    cache = (xhat, inv_std, gamma) if training else None
+    return out, cache
+
+
+def batchnorm_backward(
+    grad_out: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of training-mode batch norm."""
+    xhat, inv_std, gamma = cache
+    n, c, h, w = grad_out.shape
+    m = n * h * w
+    grad_gamma = (grad_out * xhat).sum(axis=(0, 2, 3))
+    grad_beta = grad_out.sum(axis=(0, 2, 3))
+    gxhat = grad_out * gamma.astype(grad_out.dtype)[None, :, None, None]
+    sum_g = gxhat.sum(axis=(0, 2, 3), keepdims=True)
+    sum_gx = (gxhat * xhat).sum(axis=(0, 2, 3), keepdims=True)
+    grad_x = (gxhat - sum_g / m - xhat * sum_gx / m) * inv_std[None, :, None, None]
+    return grad_x, grad_gamma, grad_beta
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and gradient w.r.t. logits.
+
+    ``labels`` are integer class indices of shape ``(N,)``.
+    """
+    n = logits.shape[0]
+    probs = softmax(np.asarray(logits, dtype=np.float64), axis=1)
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    grad /= n
+    return loss, grad.astype(logits.dtype)

@@ -1,0 +1,91 @@
+"""Checkpointing: save/load module state to ``.npz`` files.
+
+Captures both the learnable :class:`~repro.nn.module.Parameter` tensors and
+the non-learnable array buffers (batch-norm running statistics) in a
+deterministic traversal order, so a freshly constructed module with the
+same architecture can restore an exact snapshot.  Used to persist trained
+HyperNets between the expensive Step 1 and repeated Step 2 searches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["module_buffers", "save_module", "load_module"]
+
+
+def module_buffers(module: Module) -> list[np.ndarray]:
+    """Non-parameter array state (e.g. BN running stats), in deterministic order."""
+    buffers: list[np.ndarray] = []
+    seen: set[int] = set()
+    for child in _walk_all_modules(module, seen):
+        for name in sorted(vars(child)):
+            value = getattr(child, name)
+            if isinstance(value, np.ndarray) and not name.startswith("_"):
+                buffers.append(value)
+    return buffers
+
+
+def _walk_all_modules(module: Module, seen: set[int]):
+    if id(module) in seen:
+        return
+    seen.add(id(module))
+    yield module
+    inner: set[int] = set()
+    for child in module._children(inner):
+        if id(child) not in seen:
+            seen.add(id(child))
+            yield child
+
+
+def save_module(module: Module, path: str) -> None:
+    """Write every parameter and buffer of ``module`` to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    for i, p in enumerate(module.parameters()):
+        arrays[f"param_{i}"] = p.data
+    for i, b in enumerate(module_buffers(module)):
+        arrays[f"buffer_{i}"] = b
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_module(module: Module, path: str) -> None:
+    """Restore a snapshot written by :func:`save_module` into ``module``.
+
+    The module must have been constructed with the same architecture
+    (identical parameter/buffer shapes in the same traversal order).
+    """
+    with np.load(path) as data:
+        params = list(module.parameters())
+        n_params = sum(1 for k in data.files if k.startswith("param_"))
+        if n_params != len(params):
+            raise ValueError(
+                f"checkpoint has {n_params} parameters, module has {len(params)}"
+            )
+        for i, p in enumerate(params):
+            saved = data[f"param_{i}"]
+            if saved.shape != p.data.shape:
+                raise ValueError(
+                    f"param_{i}: checkpoint shape {saved.shape} != module "
+                    f"shape {p.data.shape}"
+                )
+            p.data = saved.copy()
+        buffers = module_buffers(module)
+        n_buffers = sum(1 for k in data.files if k.startswith("buffer_"))
+        if n_buffers != len(buffers):
+            raise ValueError(
+                f"checkpoint has {n_buffers} buffers, module has {len(buffers)}"
+            )
+        for i, b in enumerate(buffers):
+            saved = data[f"buffer_{i}"]
+            if saved.shape != b.shape:
+                raise ValueError(
+                    f"buffer_{i}: checkpoint shape {saved.shape} != module "
+                    f"shape {b.shape}"
+                )
+            b[...] = saved

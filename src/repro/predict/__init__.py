@@ -1,0 +1,61 @@
+"""Machine-learning performance predictors (Sec. III-E, Fig. 4).
+
+Six regression families compared on simulator samples; the Gaussian process
+(RBF kernel) wins on MSE and becomes YOSO's latency/energy predictor.
+"""
+
+from .base import Regressor, Standardizer
+from .dataset import PerfDataset, collect_samples
+from .features import FEATURE_DIM, feature_names, feature_vector
+from .gp import GaussianProcessRegressor, rbf_kernel
+from .kernelridge import KernelRidgeRegressor
+from .knn import KNNRegressor
+from .linear import LinearRegressor, PolynomialRidgeRegressor, RidgeRegressor
+from .metrics import mae, mean_relative_error, mse, r2, rmse, spearman
+from .mlp import MLPRegressor
+from .tree import DecisionTreeRegressor, RandomForestRegressor
+
+__all__ = [
+    "Regressor",
+    "Standardizer",
+    "PerfDataset",
+    "collect_samples",
+    "feature_vector",
+    "feature_names",
+    "FEATURE_DIM",
+    "GaussianProcessRegressor",
+    "rbf_kernel",
+    "KernelRidgeRegressor",
+    "KNNRegressor",
+    "LinearRegressor",
+    "RidgeRegressor",
+    "PolynomialRidgeRegressor",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "MLPRegressor",
+    "mse",
+    "rmse",
+    "mae",
+    "r2",
+    "spearman",
+    "mean_relative_error",
+]
+
+
+def all_regressors(seed: int = 0, extended: bool = False) -> list[Regressor]:
+    """The six-model lineup of Fig. 4 (fresh instances).
+
+    ``extended=True`` adds the kernel-ridge control regressor (not part of
+    the paper's comparison; see :mod:`repro.predict.kernelridge`).
+    """
+    models: list[Regressor] = [
+        LinearRegressor(),
+        RidgeRegressor(alpha=1.0),
+        PolynomialRidgeRegressor(alpha=1.0),
+        KNNRegressor(k=5),
+        RandomForestRegressor(n_trees=20, seed=seed),
+        GaussianProcessRegressor(seed=seed),
+    ]
+    if extended:
+        models.append(KernelRidgeRegressor())
+    return models

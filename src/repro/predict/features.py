@@ -1,0 +1,100 @@
+"""Feature extraction for the hardware performance predictors.
+
+Sec. III-E: *"the DNN model and configuration parameters are the input
+variables in these prediction models."*  We encode a co-design point as a
+fixed-length real vector combining
+
+* DNN structure: per-cell-type operation histograms, loose-end counts, and
+  how many edges attach to the cell inputs (depth proxy);
+* cheap aggregate workload statistics (log MACs / weight / activation
+  footprints) computed from the layer expansion — these are what make the
+  regression problem well-posed at small sample counts;
+* hardware configuration: PE geometry, buffer sizes, one-hot dataflow.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..accel.config import DATAFLOW_CHOICES, AcceleratorConfig
+from ..accel.workload import network_workloads
+from ..nas.encoding import CoDesignPoint
+from ..nas.genotype import Genotype
+from ..nas.ops import OP_NAMES
+
+__all__ = ["feature_vector", "feature_names", "FEATURE_DIM"]
+
+
+def feature_names(
+    num_cells: int = 6, stem_channels: int = 16, image_size: int = 32
+) -> list[str]:
+    """Ordered names of every feature produced by :func:`feature_vector`."""
+    names = [f"normal.{op}" for op in OP_NAMES]
+    names += [f"reduce.{op}" for op in OP_NAMES]
+    names += [
+        "normal.loose",
+        "reduce.loose",
+        "normal.input_edges",
+        "reduce.input_edges",
+        "log_macs",
+        "log_weight_bytes",
+        "log_act_bytes",
+        "num_layers",
+        "pe_rows",
+        "pe_cols",
+        "log_num_pes",
+        "log_gbuf_kb",
+        "log_rbuf_bytes",
+    ]
+    names += [f"dataflow.{flow}" for flow in DATAFLOW_CHOICES]
+    return names
+
+
+FEATURE_DIM: int = len(feature_names())
+
+
+def feature_vector(
+    point: CoDesignPoint,
+    num_cells: int = 6,
+    stem_channels: int = 16,
+    image_size: int = 32,
+    num_classes: int = 10,
+) -> np.ndarray:
+    """Encode one co-design point as a float vector of length FEATURE_DIM."""
+    genotype: Genotype = point.genotype
+    config: AcceleratorConfig = point.config
+    feats: list[float] = []
+    for cell in (genotype.normal, genotype.reduce):
+        counts = cell.op_counts()
+        feats.extend(float(counts[name]) for name in OP_NAMES)
+    feats.append(float(len(genotype.normal.loose_ends())))
+    feats.append(float(len(genotype.reduce.loose_ends())))
+    for cell in (genotype.normal, genotype.reduce):
+        input_edges = sum(
+            (1 if node.input1 < 2 else 0) + (1 if node.input2 < 2 else 0)
+            for node in cell.nodes
+        )
+        feats.append(float(input_edges))
+    layers = network_workloads(
+        genotype,
+        num_cells=num_cells,
+        stem_channels=stem_channels,
+        image_size=image_size,
+        num_classes=num_classes,
+    )
+    total_macs = sum(l.macs for l in layers)
+    total_weights = sum(l.weight_bytes for l in layers)
+    total_act = sum(l.ifmap_bytes + l.ofmap_bytes for l in layers)
+    feats.append(math.log(max(total_macs, 1.0)))
+    feats.append(math.log(max(total_weights, 1.0)))
+    feats.append(math.log(max(total_act, 1.0)))
+    feats.append(float(len(layers)))
+    feats.append(float(config.pe_rows))
+    feats.append(float(config.pe_cols))
+    feats.append(math.log(config.num_pes))
+    feats.append(math.log(config.gbuf_kb))
+    feats.append(math.log(config.rbuf_bytes))
+    feats.extend(1.0 if config.dataflow == flow else 0.0 for flow in DATAFLOW_CHOICES)
+    return np.asarray(feats, dtype=np.float64)

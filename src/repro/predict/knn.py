@@ -1,0 +1,42 @@
+"""k-nearest-neighbour regressor for the Fig. 4 model comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Regressor
+
+__all__ = ["KNNRegressor"]
+
+
+class KNNRegressor(Regressor):
+    """Distance-weighted k-NN regression in standardised feature space."""
+
+    name = "knn"
+
+    def __init__(self, k: int = 5) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        self._x = x
+        self._y = y
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        assert self._x is not None and self._y is not None
+        k = min(self.k, len(self._y))
+        sq = (
+            np.sum(x * x, axis=1)[:, None]
+            + np.sum(self._x * self._x, axis=1)[None, :]
+            - 2.0 * x @ self._x.T
+        )
+        np.maximum(sq, 0.0, out=sq)
+        idx = np.argpartition(sq, k - 1, axis=1)[:, :k]
+        dists = np.sqrt(np.take_along_axis(sq, idx, axis=1))
+        weights = 1.0 / (dists + 1e-9)
+        weights /= weights.sum(axis=1, keepdims=True)
+        return np.sum(self._y[idx] * weights, axis=1)

@@ -1,0 +1,82 @@
+"""Linear-family regressors for the Fig. 4 model comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Regressor
+
+__all__ = ["LinearRegressor", "RidgeRegressor", "PolynomialRidgeRegressor"]
+
+
+class LinearRegressor(Regressor):
+    """Ordinary least squares via ``lstsq`` (minimum-norm solution)."""
+
+    name = "linear"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._coef: np.ndarray | None = None
+        self._intercept = 0.0
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        xb = np.hstack([x, np.ones((len(x), 1))])
+        sol, *_ = np.linalg.lstsq(xb, y, rcond=None)
+        self._coef = sol[:-1]
+        self._intercept = float(sol[-1])
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        assert self._coef is not None
+        return x @ self._coef + self._intercept
+
+
+class RidgeRegressor(Regressor):
+    """L2-regularised linear regression (closed form)."""
+
+    name = "ridge"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self._coef: np.ndarray | None = None
+        self._intercept = 0.0
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        n, d = x.shape
+        gram = x.T @ x + self.alpha * np.eye(d)
+        self._coef = np.linalg.solve(gram, x.T @ y)
+        # Targets are centred by the base class; intercept stays 0 in the
+        # standardised space but is kept explicit for clarity.
+        self._intercept = float(y.mean() - x.mean(axis=0) @ self._coef)
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        assert self._coef is not None
+        return x @ self._coef + self._intercept
+
+
+def _poly2_expand(x: np.ndarray) -> np.ndarray:
+    """Degree-2 polynomial feature expansion (squares + pairwise products)."""
+    n, d = x.shape
+    cols = [x, x * x]
+    for i in range(d):
+        cols.append(x[:, i : i + 1] * x[:, i + 1 :])
+    return np.hstack(cols)
+
+
+class PolynomialRidgeRegressor(Regressor):
+    """Ridge regression on degree-2 polynomial features."""
+
+    name = "poly2_ridge"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = alpha
+        self._inner = RidgeRegressor(alpha=alpha)
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        self._inner.fit(_poly2_expand(x), y)
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        return self._inner.predict(_poly2_expand(x))

@@ -1,0 +1,91 @@
+"""Small multilayer-perceptron regressor for the Fig. 4 comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Regressor
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor(Regressor):
+    """Two-hidden-layer ReLU MLP trained with Adam on mean-squared error."""
+
+    name = "mlp"
+
+    def __init__(
+        self,
+        hidden: tuple[int, int] = (64, 32),
+        epochs: int = 300,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        weight_decay: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        sizes = [x.shape[1], *self.hidden, 1]
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        m = [np.zeros_like(w) for w in self._weights] + [np.zeros_like(b) for b in self._biases]
+        v = [np.zeros_like(w) for w in self._weights] + [np.zeros_like(b) for b in self._biases]
+        t = 0
+        n = len(y)
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                grads_w, grads_b = self._gradients(x[idx], y[idx])
+                t += 1
+                params = self._weights + self._biases
+                grads = grads_w + grads_b
+                for i, (p, g) in enumerate(zip(params, grads)):
+                    g = g + self.weight_decay * p
+                    m[i] = 0.9 * m[i] + 0.1 * g
+                    v[i] = 0.999 * v[i] + 0.001 * g * g
+                    m_hat = m[i] / (1 - 0.9**t)
+                    v_hat = v[i] / (1 - 0.999**t)
+                    p -= self.lr * m_hat / (np.sqrt(v_hat) + 1e-8)
+
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        acts = [x]
+        h = x
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            h = h @ w + b
+            if i < len(self._weights) - 1:
+                h = np.maximum(h, 0.0)
+            acts.append(h)
+        return h.ravel(), acts
+
+    def _gradients(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        pred, acts = self._forward(x)
+        delta = (2.0 / len(y)) * (pred - y)[:, None]
+        grads_w: list[np.ndarray] = [np.zeros_like(w) for w in self._weights]
+        grads_b: list[np.ndarray] = [np.zeros_like(b) for b in self._biases]
+        for i in range(len(self._weights) - 1, -1, -1):
+            grads_w[i] = acts[i].T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self._weights[i].T) * (acts[i] > 0)
+        return grads_w, grads_b
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        pred, _ = self._forward(x)
+        return pred

@@ -1,0 +1,165 @@
+"""Decision-tree and random-forest regressors for the Fig. 4 comparison.
+
+The tree grows greedily on variance reduction with midpoint splits over a
+quantile-subsampled candidate set; the forest bags bootstrap resamples and
+restricts each split to a random feature subset (Breiman, 2001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Regressor
+
+__all__ = ["DecisionTreeRegressor", "RandomForestRegressor"]
+
+
+@dataclass
+class _Node:
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    features: np.ndarray,
+    min_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Find the (feature, threshold) minimising child SSE; None if no gain."""
+    n = len(y)
+    base_sse = float(np.sum((y - y.mean()) ** 2))
+    best: tuple[int, float, float] | None = None
+    best_sse = base_sse - 1e-12
+    for f in features:
+        order = np.argsort(x[:, f], kind="stable")
+        xs, ys = x[order, f], y[order]
+        # Prefix sums for O(n) SSE evaluation of every split point.
+        csum = np.cumsum(ys)
+        csum2 = np.cumsum(ys * ys)
+        total, total2 = csum[-1], csum2[-1]
+        counts = np.arange(1, n)
+        left_sse = csum2[:-1] - csum[:-1] ** 2 / counts
+        right_counts = n - counts
+        right_sum = total - csum[:-1]
+        right_sse = (total2 - csum2[:-1]) - right_sum**2 / right_counts
+        sse = left_sse + right_sse
+        # Valid split points: leaves big enough and distinct x values.
+        valid = (counts >= min_leaf) & (right_counts >= min_leaf) & (np.diff(xs) > 1e-12)
+        if not valid.any():
+            continue
+        sse = np.where(valid, sse, np.inf)
+        i = int(np.argmin(sse))
+        if sse[i] < best_sse:
+            best_sse = float(sse[i])
+            best = (int(f), float(0.5 * (xs[i] + xs[i + 1])), best_sse)
+    return best
+
+
+class DecisionTreeRegressor(Regressor):
+    """CART-style regression tree with variance-reduction splits."""
+
+    name = "decision_tree"
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_leaf: int = 3,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_leaf = max(1, min_leaf)
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._rng = np.random.default_rng(seed)
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        self._root = self._grow(x, y, depth=0)
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_leaf or np.ptp(y) < 1e-12:
+            return node
+        d = x.shape[1]
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(d, size=self.max_features, replace=False)
+        else:
+            features = np.arange(d)
+        split = _best_split(x, y, features, self.min_leaf)
+        if split is None:
+            return node
+        f, thr, _ = split
+        mask = x[:, f] <= thr
+        node.feature = f
+        node.threshold = thr
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        assert self._root is not None
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.value
+        return out
+
+
+class RandomForestRegressor(Regressor):
+    """Bagged ensemble of randomised regression trees."""
+
+    name = "random_forest"
+
+    def __init__(
+        self,
+        n_trees: int = 20,
+        max_depth: int = 10,
+        min_leaf: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.seed = seed
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        max_features = max(1, int(np.ceil(d / 3)))
+        self._trees = []
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_leaf=self.min_leaf,
+                max_features=max_features,
+                seed=self.seed + 1000 + t,
+            )
+            # Bypass the outer scaling: data is already standardised here.
+            tree._fit(x[idx], y[idx])
+            self._trees.append(tree)
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        preds = np.stack([tree._predict(x) for tree in self._trees])
+        return preds.mean(axis=0)

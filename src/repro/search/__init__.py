@@ -1,0 +1,53 @@
+"""The YOSO search core: LSTM/REINFORCE controller, multi-objective reward,
+fast/accurate evaluators, random-search and two-stage baselines, and the
+three-step pipeline orchestrator."""
+
+from .bandit import BanditSearch
+from .bayesopt import BayesianOptSearch, expected_improvement
+from .evolution import EvolutionSearch
+from .controller import Controller, SampledSequence
+from .evaluator import AccurateEvaluator, Evaluation, FastEvaluator
+from .lstm import LSTMCell, LSTMState
+from .random_search import RandomSearch
+from .reinforce import ReinforceSearch, SearchHistory, SearchSample
+from .reward import (
+    BALANCED,
+    ENERGY_FOCUS,
+    LATENCY_FOCUS,
+    PAPER_T_EER_MJ,
+    PAPER_T_LAT_MS,
+    RewardSpec,
+)
+from .two_stage import TwoStageRow, best_config_for, run_two_stage
+from .yoso import RescoredCandidate, YosoConfig, YosoResult, YosoSearch
+
+__all__ = [
+    "BayesianOptSearch",
+    "expected_improvement",
+    "EvolutionSearch",
+    "BanditSearch",
+    "Controller",
+    "SampledSequence",
+    "LSTMCell",
+    "LSTMState",
+    "Evaluation",
+    "FastEvaluator",
+    "AccurateEvaluator",
+    "ReinforceSearch",
+    "SearchHistory",
+    "SearchSample",
+    "RandomSearch",
+    "RewardSpec",
+    "BALANCED",
+    "ENERGY_FOCUS",
+    "LATENCY_FOCUS",
+    "PAPER_T_LAT_MS",
+    "PAPER_T_EER_MJ",
+    "TwoStageRow",
+    "best_config_for",
+    "run_two_stage",
+    "YosoSearch",
+    "YosoConfig",
+    "YosoResult",
+    "RescoredCandidate",
+]

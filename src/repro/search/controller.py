@@ -1,0 +1,162 @@
+"""The LSTM policy over 44-token action sequences (Sec. III-C, IV-C).
+
+The controller samples actions *"via a softmax classifier in an
+autoregressive flow: when generating the i-th parameter, previously
+generated parameters are fed as input.  At the initial step, we feed zero
+as input."*  Logits are shaped with a temperature of 1.1 and a tanh
+constant of 2.5 (Sec. IV-C) to prevent premature convergence, and the
+sample entropy is exposed so the trainer can add the paper's 1e-4 entropy
+bonus to the reward.
+
+Every sequence position has its own output head (vocabulary sizes differ
+per position) and its own embedding table for feeding the *previous* token
+back in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nas.encoding import token_vocab_sizes
+from ..nn.module import Module, Parameter
+from .lstm import LSTMCell, LSTMState
+
+__all__ = ["Controller", "SampledSequence"]
+
+
+@dataclass
+class SampledSequence:
+    """One sampled action sequence plus everything needed for REINFORCE."""
+
+    tokens: list[int]
+    log_prob: float
+    entropy: float
+    # Per-step caches: (lstm_cache, softmax_probs, raw_logits, head_index).
+    _caches: list[tuple]
+
+
+class Controller(Module):
+    """Autoregressive LSTM policy over the co-design action space."""
+
+    def __init__(
+        self,
+        vocab_sizes: tuple[int, ...] | None = None,
+        hidden_dim: int = 120,
+        embedding_dim: int = 32,
+        temperature: float = 1.1,
+        tanh_constant: float = 2.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_sizes = tuple(vocab_sizes or token_vocab_sizes())
+        self.hidden_dim = hidden_dim
+        self.embedding_dim = embedding_dim
+        self.temperature = temperature
+        self.tanh_constant = tanh_constant
+        self.lstm = LSTMCell(embedding_dim, hidden_dim, rng)
+        scale = 1.0 / np.sqrt(hidden_dim)
+        #: per-position output heads: hidden -> vocab[t]
+        self.heads = [
+            Parameter(rng.uniform(-scale, scale, size=(hidden_dim, v)))
+            for v in self.vocab_sizes
+        ]
+        self.head_biases = [
+            Parameter(np.zeros(v), weight_decay=False) for v in self.vocab_sizes
+        ]
+        #: per-position embeddings of the *previous* token (position 0 gets
+        #: a zero input vector, as in the paper).
+        emb_scale = 1.0 / np.sqrt(embedding_dim)
+        self.embeddings = [
+            Parameter(rng.uniform(-emb_scale, emb_scale, size=(v, embedding_dim)))
+            for v in self.vocab_sizes[:-1]
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def sequence_length(self) -> int:
+        return len(self.vocab_sizes)
+
+    def _shaped_logits(self, h: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray]:
+        raw = h @ self.heads[t].data + self.head_biases[t].data
+        shaped = self.tanh_constant * np.tanh(raw / self.temperature)
+        return raw, shaped
+
+    def sample(self, rng: np.random.Generator) -> SampledSequence:
+        """Sample one full action sequence from the current policy."""
+        state = LSTMState.zeros(self.hidden_dim)
+        x = np.zeros(self.embedding_dim)
+        tokens: list[int] = []
+        caches: list[tuple] = []
+        log_prob = 0.0
+        entropy = 0.0
+        for t, vocab in enumerate(self.vocab_sizes):
+            state, lstm_cache = self.lstm.step(x, state)
+            raw, shaped = self._shaped_logits(state.h, t)
+            probs = _softmax(shaped)
+            token = int(rng.choice(vocab, p=probs))
+            tokens.append(token)
+            log_prob += float(np.log(probs[token] + 1e-12))
+            entropy += float(-np.sum(probs * np.log(probs + 1e-12)))
+            caches.append((lstm_cache, probs, raw, t))
+            if t < self.sequence_length - 1:
+                x = self.embeddings[t].data[token]
+        return SampledSequence(tokens=tokens, log_prob=log_prob, entropy=entropy, _caches=caches)
+
+    def log_prob_of(self, tokens: list[int]) -> float:
+        """Log-probability of a fixed sequence under the current policy."""
+        if len(tokens) != self.sequence_length:
+            raise ValueError("token sequence has wrong length")
+        state = LSTMState.zeros(self.hidden_dim)
+        x = np.zeros(self.embedding_dim)
+        total = 0.0
+        for t, token in enumerate(tokens):
+            state, _ = self.lstm.step(x, state)
+            _, shaped = self._shaped_logits(state.h, t)
+            probs = _softmax(shaped)
+            total += float(np.log(probs[token] + 1e-12))
+            if t < self.sequence_length - 1:
+                x = self.embeddings[t].data[token]
+        return total
+
+    # ------------------------------------------------------------------
+    def accumulate_policy_gradient(self, sample: SampledSequence, advantage: float) -> None:
+        """Accumulate REINFORCE gradients for one episode (Eq. 4).
+
+        The loss is ``-advantage * sum_t log p(a_t)``; gradients flow through
+        the tanh/temperature logit shaping, the per-position heads, the LSTM
+        (full BPTT) and the token embeddings.
+        """
+        dh_next = np.zeros(self.hidden_dim)
+        dc_next = np.zeros(self.hidden_dim)
+        for t in range(self.sequence_length - 1, -1, -1):
+            lstm_cache, probs, raw, head_idx = sample._caches[t]
+            token = sample.tokens[t]
+            # d(-adv * log softmax(shaped))/d shaped = adv * (probs - onehot)
+            d_shaped = advantage * probs
+            d_shaped[token] -= advantage
+            # Through shaped = C * tanh(raw / T).
+            tanh_val = np.tanh(raw / self.temperature)
+            d_raw = d_shaped * self.tanh_constant * (1.0 - tanh_val**2) / self.temperature
+            h = lstm_cache_h(lstm_cache, self)
+            self.heads[head_idx].grad += np.outer(h, d_raw)
+            self.head_biases[head_idx].grad += d_raw
+            dh = d_raw @ self.heads[head_idx].data.T + dh_next
+            dx, dh_next, dc_next = self.lstm.backward_step(dh, dc_next, lstm_cache)
+            if t > 0:
+                prev_token = sample.tokens[t - 1]
+                self.embeddings[t - 1].grad[prev_token] += dx
+
+
+def lstm_cache_h(cache: tuple, controller: Controller) -> np.ndarray:
+    """Recompute the hidden output of a cached LSTM step (h = o * tanh(c))."""
+    _x, _h_prev, _c_prev, _i, _f, _g, o, tanh_c = cache
+    return o * tanh_c
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    z = logits - logits.max()
+    e = np.exp(z)
+    return e / e.sum()

@@ -1,0 +1,188 @@
+"""Candidate evaluation: the fast surrogate path and the accurate path.
+
+Step 1 of YOSO builds the :class:`FastEvaluator` — HyperNet-inherited
+weights for accuracy (one test run instead of full training) plus the two
+Gaussian-process predictors for latency and energy (instead of simulation).
+Step 3 rescoring uses the :class:`AccurateEvaluator` — stand-alone training
+plus the full analytical simulator — on the top-N candidates only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..accel.simulator import SystolicArraySimulator
+from ..nas.encoding import CoDesignPoint
+from ..nas.hypernet import HyperNet
+from ..nas.network import CellNetwork
+from ..nas.train import train_network
+from ..nn.data import SyntheticCifar
+from ..predict.dataset import PerfDataset
+from ..predict.features import feature_vector
+from ..predict.gp import GaussianProcessRegressor
+
+__all__ = ["Evaluation", "FastEvaluator", "AccurateEvaluator"]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Measured (or predicted) metrics of one co-design point."""
+
+    accuracy: float
+    latency_ms: float
+    energy_mj: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(f"accuracy {self.accuracy} out of [0, 1]")
+
+
+class FastEvaluator:
+    """HyperNet accuracy + GP latency/energy (Step 1 artefacts, used in Step 2)."""
+
+    def __init__(
+        self,
+        hypernet: HyperNet,
+        val_images: np.ndarray,
+        val_labels: np.ndarray,
+        latency_gp: GaussianProcessRegressor,
+        energy_gp: GaussianProcessRegressor,
+        num_cells: int = 6,
+        stem_channels: int = 16,
+        image_size: int = 32,
+        num_classes: int = 10,
+        eval_batch: int = 64,
+        cache_size: int = 4096,
+    ) -> None:
+        self.hypernet = hypernet
+        self.val_images = val_images
+        self.val_labels = val_labels
+        self.latency_gp = latency_gp
+        self.energy_gp = energy_gp
+        self.num_cells = num_cells
+        self.stem_channels = stem_channels
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.eval_batch = eval_batch
+        self.cache_size = cache_size
+        # Accuracy depends only on the genotype (not the hardware config),
+        # so it gets its own cache — the controller frequently re-pairs a
+        # converged architecture with different hardware tokens.
+        self._acc_cache: dict[str, float] = {}
+        self._cache: dict[str, Evaluation] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(
+        cls,
+        hypernet: HyperNet,
+        dataset: SyntheticCifar,
+        samples: PerfDataset,
+        seed: int = 0,
+        **kwargs,
+    ) -> "FastEvaluator":
+        """Fit the two GPs on collected simulator samples and assemble."""
+        latency_gp = GaussianProcessRegressor(seed=seed)
+        latency_gp.fit(samples.x, samples.latency_ms)
+        energy_gp = GaussianProcessRegressor(seed=seed + 1)
+        energy_gp.fit(samples.x, samples.energy_mj)
+        return cls(
+            hypernet,
+            dataset.val.images,
+            dataset.val.labels,
+            latency_gp,
+            energy_gp,
+            **kwargs,
+        )
+
+    def evaluate(self, point: CoDesignPoint) -> Evaluation:
+        """Predict accuracy/latency/energy of one candidate (cached)."""
+        geno_key = point.genotype.to_json()
+        key = geno_key + "|" + point.config.describe()
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        accuracy = self._acc_cache.get(geno_key)
+        if accuracy is None:
+            accuracy = self.hypernet.evaluate(
+                point.genotype,
+                self.val_images,
+                self.val_labels,
+                batch_size=self.eval_batch,
+            )
+            if len(self._acc_cache) < self.cache_size:
+                self._acc_cache[geno_key] = accuracy
+        features = feature_vector(
+            point,
+            num_cells=self.num_cells,
+            stem_channels=self.stem_channels,
+            image_size=self.image_size,
+            num_classes=self.num_classes,
+        )[None, :]
+        latency = float(self.latency_gp.predict(features)[0])
+        energy = float(self.energy_gp.predict(features)[0])
+        result = Evaluation(
+            accuracy=accuracy,
+            latency_ms=max(latency, 1e-6),
+            energy_mj=max(energy, 1e-6),
+        )
+        if len(self._cache) < self.cache_size:
+            self._cache[key] = result
+        return result
+
+
+class AccurateEvaluator:
+    """Full training + accurate simulation (Step 3 rescoring)."""
+
+    def __init__(
+        self,
+        dataset: SyntheticCifar,
+        simulator: SystolicArraySimulator | None = None,
+        num_cells: int = 6,
+        stem_channels: int = 16,
+        num_classes: int = 10,
+        train_epochs: int = 70,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.simulator = simulator or SystolicArraySimulator()
+        self.num_cells = num_cells
+        self.stem_channels = stem_channels
+        self.num_classes = num_classes
+        self.train_epochs = train_epochs
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def evaluate(self, point: CoDesignPoint) -> Evaluation:
+        """Train the candidate from scratch and simulate it accurately."""
+        rng = np.random.default_rng(self.seed)
+        network = CellNetwork(
+            point.genotype,
+            num_cells=self.num_cells,
+            stem_channels=self.stem_channels,
+            num_classes=self.num_classes,
+            rng=rng,
+        )
+        result = train_network(
+            network,
+            self.dataset,
+            epochs=self.train_epochs,
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+        report = self.simulator.simulate_genotype(
+            point.genotype,
+            point.config,
+            num_cells=self.num_cells,
+            stem_channels=self.stem_channels,
+            image_size=self.dataset.image_size,
+            num_classes=self.num_classes,
+        )
+        return Evaluation(
+            accuracy=result.val_accuracy,
+            latency_ms=report.latency_ms,
+            energy_mj=report.energy_mj,
+        )

@@ -1,0 +1,104 @@
+"""Regularised-evolution search baseline (Real et al., AAAI'19).
+
+The search strategy behind AmoebaNet-A — one of the two-stage baselines in
+Table 2 — applied to YOSO's *joint* token space: tournament selection over a
+sliding population, mutation of one token per child, and age-based removal
+(the oldest individual dies, which is the "regularisation").
+
+Included as an extension comparator alongside RL, random search and
+Bayesian optimisation (see ``repro.experiments.ablation``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from ..nas.encoding import CoDesignPoint, decode, random_sequence
+from ..nas.mutate import mutate_sequence
+from .evaluator import Evaluation
+from .reinforce import SearchHistory, SearchSample
+from .reward import RewardSpec
+
+__all__ = ["EvolutionSearch"]
+
+
+class EvolutionSearch:
+    """Aging evolution over 44-token co-design sequences."""
+
+    def __init__(
+        self,
+        evaluate: Callable[[CoDesignPoint], Evaluation],
+        reward_spec: RewardSpec,
+        population_size: int = 20,
+        tournament_size: int = 5,
+        mutations_per_child: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 1 <= tournament_size <= population_size:
+            raise ValueError("tournament_size must be in [1, population_size]")
+        self.evaluate = evaluate
+        self.reward_spec = reward_spec
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.mutations_per_child = mutations_per_child
+        self.rng = np.random.default_rng(seed)
+        self.history = SearchHistory()
+        #: (tokens, reward) pairs, oldest first.
+        self._population: deque[tuple[list[int], float]] = deque()
+
+    # ------------------------------------------------------------------
+    def _score(self, tokens: list[int]) -> SearchSample:
+        point = decode(tokens, name=f"evo{len(self.history)}")
+        evaluation = self.evaluate(point)
+        reward = self.reward_spec.reward(
+            evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
+        )
+        sample = SearchSample(
+            iteration=len(self.history),
+            tokens=tuple(tokens),
+            reward=reward,
+            accuracy=evaluation.accuracy,
+            latency_ms=evaluation.latency_ms,
+            energy_mj=evaluation.energy_mj,
+        )
+        self.history.append(sample)
+        return sample
+
+    def step(self) -> SearchSample:
+        """One evaluation: seed the population, then evolve."""
+        if len(self._population) < self.population_size:
+            tokens = random_sequence(self.rng)
+            sample = self._score(tokens)
+            self._population.append((tokens, sample.reward))
+            return sample
+        # Tournament selection among a random subset.
+        indices = self.rng.choice(
+            len(self._population), size=self.tournament_size, replace=False
+        )
+        parent_tokens, _ = max(
+            (self._population[int(i)] for i in indices), key=lambda tr: tr[1]
+        )
+        child = mutate_sequence(parent_tokens, self.rng, self.mutations_per_child)
+        sample = self._score(child)
+        self._population.append((child, sample.reward))
+        self._population.popleft()  # aging: the oldest dies
+        return sample
+
+    def run(self, iterations: int) -> SearchHistory:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        while len(self.history) < iterations:
+            self.step()
+        return self.history
+
+    @property
+    def population_best(self) -> float:
+        """Best reward currently alive in the population."""
+        if not self._population:
+            raise ValueError("population is empty")
+        return max(r for _, r in self._population)

@@ -1,0 +1,93 @@
+"""Numpy LSTM cell with explicit backpropagation-through-time support.
+
+The RL searcher is *"an LSTM with 120 hidden units"* (Sec. III-C).  This
+module provides the cell primitive; :mod:`repro.search.controller` unrolls
+it autoregressively over the 44 action positions and backpropagates the
+REINFORCE loss through the stored step caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+
+__all__ = ["LSTMCell", "LSTMState"]
+
+
+class LSTMState:
+    """Hidden and cell state of one LSTM step."""
+
+    __slots__ = ("h", "c")
+
+    def __init__(self, h: np.ndarray, c: np.ndarray) -> None:
+        self.h = h
+        self.c = c
+
+    @classmethod
+    def zeros(cls, hidden: int) -> "LSTMState":
+        return cls(np.zeros(hidden), np.zeros(hidden))
+
+
+class LSTMCell(Module):
+    """Single-layer LSTM cell (gate order: input, forget, cell, output)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        scale = 1.0 / np.sqrt(hidden_dim)
+        self.wx = Parameter(rng.uniform(-scale, scale, size=(input_dim, 4 * hidden_dim)))
+        self.wh = Parameter(rng.uniform(-scale, scale, size=(hidden_dim, 4 * hidden_dim)))
+        self.bias = Parameter(np.zeros(4 * hidden_dim), weight_decay=False)
+        # Forget-gate bias starts at 1 (standard trick for gradient flow).
+        self.bias.data[hidden_dim : 2 * hidden_dim] = 1.0
+
+    # ------------------------------------------------------------------
+    def step(self, x: np.ndarray, state: LSTMState) -> tuple[LSTMState, tuple]:
+        """One time step.  Returns the new state and a backward cache."""
+        h_dim = self.hidden_dim
+        gates = x @ self.wx.data + state.h @ self.wh.data + self.bias.data
+        i = _sigmoid(gates[:h_dim])
+        f = _sigmoid(gates[h_dim : 2 * h_dim])
+        g = np.tanh(gates[2 * h_dim : 3 * h_dim])
+        o = _sigmoid(gates[3 * h_dim :])
+        c_new = f * state.c + i * g
+        tanh_c = np.tanh(c_new)
+        h_new = o * tanh_c
+        cache = (x, state.h, state.c, i, f, g, o, tanh_c)
+        return LSTMState(h_new, c_new), cache
+
+    def backward_step(
+        self, dh: np.ndarray, dc: np.ndarray, cache: tuple
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward through one step.
+
+        ``dh``/``dc`` are gradients w.r.t. this step's output state; returns
+        ``(dx, dh_prev, dc_prev)`` and accumulates parameter gradients.
+        """
+        x, h_prev, c_prev, i, f, g, o, tanh_c = cache
+        do = dh * tanh_c
+        dc_total = dc + dh * o * (1.0 - tanh_c**2)
+        di = dc_total * g
+        df = dc_total * c_prev
+        dg = dc_total * i
+        dc_prev = dc_total * f
+        d_gates = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g**2),
+                do * o * (1.0 - o),
+            ]
+        )
+        self.wx.grad += np.outer(x, d_gates)
+        self.wh.grad += np.outer(h_prev, d_gates)
+        self.bias.grad += d_gates
+        dx = d_gates @ self.wx.data.T
+        dh_prev = d_gates @ self.wh.data.T
+        return dx, dh_prev, dc_prev
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))

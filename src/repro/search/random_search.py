@@ -1,0 +1,59 @@
+"""Random-search baseline (the comparison of Fig. 6(a)).
+
+Uniformly samples co-design points from the same combined space and scores
+them with the same evaluator and reward; the only difference from the RL
+search is the absence of a learned policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nas.encoding import CoDesignPoint, decode, random_sequence
+from .evaluator import Evaluation
+from .reinforce import SearchHistory, SearchSample
+from .reward import RewardSpec
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch:
+    """Uniform sampling over the 44-token action space."""
+
+    def __init__(
+        self,
+        evaluate: Callable[[CoDesignPoint], Evaluation],
+        reward_spec: RewardSpec,
+        seed: int = 0,
+    ) -> None:
+        self.evaluate = evaluate
+        self.reward_spec = reward_spec
+        self.rng = np.random.default_rng(seed)
+        self.history = SearchHistory()
+
+    def step(self) -> SearchSample:
+        tokens = random_sequence(self.rng)
+        point = decode(tokens, name=f"rand{len(self.history)}")
+        evaluation = self.evaluate(point)
+        reward = self.reward_spec.reward(
+            evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
+        )
+        sample = SearchSample(
+            iteration=len(self.history),
+            tokens=tuple(tokens),
+            reward=reward,
+            accuracy=evaluation.accuracy,
+            latency_ms=evaluation.latency_ms,
+            energy_mj=evaluation.energy_mj,
+        )
+        self.history.append(sample)
+        return sample
+
+    def run(self, iterations: int) -> SearchHistory:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        while len(self.history) < iterations:
+            self.step()
+        return self.history

@@ -1,0 +1,83 @@
+"""The multi-objective reward of Eq. 2 and the paper's preset coefficients.
+
+    R(lambda) = alpha1 * A * (e / t_eer)^omega1  +  alpha2 * A * (l / t_lat)^omega2
+
+where ``A`` is validation accuracy, ``l`` latency, ``e`` energy, and
+``t_lat`` / ``t_eer`` the user thresholds.  With negative exponents
+(``omega < 0``) a candidate that exceeds a threshold is smoothly penalised
+and one far below it is rewarded — the MnasNet-style soft constraint the
+paper builds on (its ref. [11]); the two alpha terms balance the energy-
+and latency-oriented composite scores.
+
+Term assignment note: the paper's Eq. 2 rendering is ambiguous about which
+(alpha, omega) pair attaches to which metric, but the Fig. 6 captions
+resolve it — the energy-focused search of Fig. 6(b) uses alpha1 = 0.6 and
+the latency-focused search of Fig. 6(c) uses alpha2 = 0.6, so (alpha1,
+omega1) must weight the energy term and (alpha2, omega2) the latency term.
+
+Presets (Fig. 6 captions):
+
+* ``BALANCED``      — alpha1 0.5, omega1 -0.4, alpha2 0.5, omega2 -0.4
+* ``ENERGY_FOCUS``  — alpha1 0.6, omega1 -0.4, alpha2 0.3, omega2 -0.2
+* ``LATENCY_FOCUS`` — alpha1 0.3, omega1 -0.3, alpha2 0.6, omega2 -0.4
+
+Thresholds (Sec. IV-A): t_eer = 9 mJ and t_lat = 1.2 ms at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RewardSpec",
+    "BALANCED",
+    "ENERGY_FOCUS",
+    "LATENCY_FOCUS",
+    "PAPER_T_LAT_MS",
+    "PAPER_T_EER_MJ",
+]
+
+PAPER_T_LAT_MS: float = 1.2
+PAPER_T_EER_MJ: float = 9.0
+
+
+@dataclass(frozen=True)
+class RewardSpec:
+    """Coefficients and thresholds of the Eq. 2 reward."""
+
+    alpha1: float
+    omega1: float
+    alpha2: float
+    omega2: float
+    t_lat_ms: float = PAPER_T_LAT_MS
+    t_eer_mj: float = PAPER_T_EER_MJ
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.t_lat_ms <= 0 or self.t_eer_mj <= 0:
+            raise ValueError("thresholds must be positive")
+
+    # ------------------------------------------------------------------
+    def reward(self, accuracy: float, latency_ms: float, energy_mj: float) -> float:
+        """Composite score of one evaluated candidate."""
+        if latency_ms <= 0 or energy_mj <= 0:
+            raise ValueError("latency and energy must be positive")
+        eer_term = (energy_mj / self.t_eer_mj) ** self.omega1
+        lat_term = (latency_ms / self.t_lat_ms) ** self.omega2
+        return self.alpha1 * accuracy * eer_term + self.alpha2 * accuracy * lat_term
+
+    def meets_thresholds(self, latency_ms: float, energy_mj: float) -> bool:
+        """Hard screening used when selecting the final solution (Sec. IV-A)."""
+        return latency_ms <= self.t_lat_ms and energy_mj <= self.t_eer_mj
+
+    def scaled(self, t_lat_ms: float, t_eer_mj: float) -> "RewardSpec":
+        """Same coefficients with different thresholds (demo-scale runs)."""
+        return RewardSpec(
+            self.alpha1, self.omega1, self.alpha2, self.omega2,
+            t_lat_ms=t_lat_ms, t_eer_mj=t_eer_mj, name=self.name,
+        )
+
+
+BALANCED = RewardSpec(0.5, -0.4, 0.5, -0.4, name="balanced")
+ENERGY_FOCUS = RewardSpec(0.6, -0.4, 0.3, -0.2, name="energy_focus")
+LATENCY_FOCUS = RewardSpec(0.3, -0.3, 0.6, -0.4, name="latency_focus")

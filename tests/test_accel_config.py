@@ -1,0 +1,112 @@
+"""Tests for the accelerator configuration space (Table 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import (
+    DATAFLOW_CHOICES,
+    GBUF_KB_CHOICES,
+    PE_CHOICES,
+    RBUF_B_CHOICES,
+    AcceleratorConfig,
+    Dataflow,
+    enumerate_configs,
+    hw_space_size,
+    random_config,
+)
+
+
+class TestAcceleratorConfig:
+    def test_num_pes(self, hw_config):
+        assert hw_config.num_pes == 256
+
+    def test_gbuf_bytes(self, hw_config):
+        assert hw_config.gbuf_bytes == 256 * 1024
+
+    def test_describe_matches_table2_format(self):
+        cfg = AcceleratorConfig(16, 32, 512, 512, "OS")
+        assert cfg.describe() == "16*32/512KB/512B/OS"
+
+    def test_dict_roundtrip(self, hw_config):
+        assert AcceleratorConfig.from_dict(hw_config.to_dict()) == hw_config
+
+    def test_rejects_unknown_dataflow(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(8, 8, 108, 64, "XYZ")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pe_rows": 0},
+            {"pe_cols": -1},
+            {"gbuf_kb": 0},
+            {"rbuf_bytes": 0},
+        ],
+    )
+    def test_rejects_non_positive_dims(self, kwargs):
+        base = dict(pe_rows=8, pe_cols=8, gbuf_kb=108, rbuf_bytes=64, dataflow="WS")
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(**base)
+
+    def test_frozen(self, hw_config):
+        with pytest.raises(Exception):
+            hw_config.pe_rows = 32  # type: ignore[misc]
+
+
+class TestChoiceLists:
+    def test_pe_range_matches_paper(self):
+        # Table 1: PE array size range 8x8 ... 16x32.
+        assert PE_CHOICES[0] == (8, 8)
+        assert PE_CHOICES[-1] == (16, 32)
+
+    def test_table2_configs_representable(self):
+        # Every configuration reported in Table 2 must be in the space.
+        for rows, cols in [(16, 32), (14, 16), (16, 20), (16, 16)]:
+            assert (rows, cols) in PE_CHOICES
+        for kb in [108, 196, 256, 512]:
+            assert kb in GBUF_KB_CHOICES
+        for b in [128, 256, 512, 1024]:
+            assert b in RBUF_B_CHOICES
+
+    def test_gbuf_range(self):
+        assert min(GBUF_KB_CHOICES) == 108
+        assert max(GBUF_KB_CHOICES) == 1024
+
+    def test_rbuf_range(self):
+        assert min(RBUF_B_CHOICES) == 64
+        assert max(RBUF_B_CHOICES) == 1024
+
+    def test_four_dataflows(self):
+        assert set(DATAFLOW_CHOICES) == {"WS", "OS", "RS", "NLR"}
+        assert Dataflow.ALL == DATAFLOW_CHOICES
+
+
+class TestEnumeration:
+    def test_size_formula(self):
+        configs = list(enumerate_configs())
+        assert len(configs) == hw_space_size()
+        assert hw_space_size() == 8 * 5 * 5 * 4
+
+    def test_all_distinct(self):
+        configs = list(enumerate_configs())
+        assert len(set(configs)) == len(configs)
+
+    def test_enumeration_covers_random_samples(self):
+        universe = set(enumerate_configs())
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert random_config(rng) in universe
+
+    @given(st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=25)
+    def test_random_config_valid(self, seed):
+        cfg = random_config(np.random.default_rng(seed))
+        assert (cfg.pe_rows, cfg.pe_cols) in PE_CHOICES
+        assert cfg.gbuf_kb in GBUF_KB_CHOICES
+        assert cfg.rbuf_bytes in RBUF_B_CHOICES
+        assert cfg.dataflow in DATAFLOW_CHOICES

@@ -1,0 +1,127 @@
+"""Tests for the dataflow spatial-mapping models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import AcceleratorConfig, Dataflow
+from repro.accel.dataflow import MappingProfile, fold_utilisation, spatial_map
+from repro.accel.workload import LayerWorkload
+
+
+def cfg(flow, rows=16, cols=16, rbuf=256, gbuf=256):
+    return AcceleratorConfig(rows, cols, gbuf, rbuf, flow)
+
+
+CONV = LayerWorkload("conv", "conv", 32, 64, 16, 3, 1)
+DWCONV = LayerWorkload("dw", "dwconv", 32, 32, 16, 3, 1)
+POOL = LayerWorkload("pool", "pool", 32, 32, 16, 3, 1)
+
+
+class TestFoldUtilisation:
+    def test_exact_fit(self):
+        assert fold_utilisation(16, 16) == 1.0
+
+    def test_multiple_fit(self):
+        assert fold_utilisation(32, 16) == 1.0
+
+    def test_partial_fill(self):
+        # 20 items on 16 lanes: 2 passes, 20/32 useful.
+        assert fold_utilisation(20, 16) == pytest.approx(20 / 32)
+
+    def test_underfill(self):
+        assert fold_utilisation(8, 16) == 0.5
+
+    @given(dim=st.integers(1, 300), lanes=st.integers(1, 64))
+    @settings(deadline=None)
+    def test_bounds(self, dim, lanes):
+        u = fold_utilisation(dim, lanes)
+        assert 0.0 < u <= 1.0
+
+    @given(lanes=st.integers(1, 64), k=st.integers(1, 8))
+    @settings(deadline=None)
+    def test_perfect_when_divisible(self, lanes, k):
+        assert fold_utilisation(lanes * k, lanes) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fold_utilisation(0, 4)
+
+
+class TestMappingProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MappingProfile(0.0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            MappingProfile(0.5, 0.5, 1, 1)
+
+    @pytest.mark.parametrize("flow", Dataflow.ALL)
+    @pytest.mark.parametrize("layer", [CONV, DWCONV, POOL])
+    def test_all_flows_all_kinds_valid(self, flow, layer):
+        profile = spatial_map(layer, cfg(flow))
+        assert 0.0 < profile.utilisation <= 1.0
+        assert profile.ifmap_reuse >= 1.0
+        assert profile.weight_reuse >= 1.0
+        assert profile.psum_reuse >= 1.0
+
+
+class TestDataflowSemantics:
+    def test_nlr_has_no_local_reuse(self):
+        p = spatial_map(CONV, cfg(Dataflow.NLR))
+        assert p.ifmap_reuse == 1.0
+        assert p.weight_reuse == 1.0
+        assert p.psum_reuse == 1.0
+
+    def test_ws_weight_reuse_scales_with_output_plane(self):
+        small = LayerWorkload("s", "conv", 32, 64, 8, 3, 1)
+        large = LayerWorkload("l", "conv", 32, 64, 32, 3, 1)
+        p_small = spatial_map(small, cfg(Dataflow.WS))
+        p_large = spatial_map(large, cfg(Dataflow.WS))
+        assert p_large.weight_reuse > p_small.weight_reuse
+
+    def test_ws_reuse_degrades_with_tiny_rbuf(self):
+        big_rbuf = spatial_map(CONV, cfg(Dataflow.WS, rbuf=1024))
+        tiny_rbuf = spatial_map(CONV, cfg(Dataflow.WS, rbuf=8))
+        assert tiny_rbuf.weight_reuse < big_rbuf.weight_reuse
+
+    def test_os_psum_reuse_is_reduction_depth(self):
+        p = spatial_map(CONV, cfg(Dataflow.OS))
+        assert p.psum_reuse == pytest.approx(32 * 9)  # C * R * S
+
+    def test_os_utilisation_matches_output_plane(self):
+        # 16x16 output on a 16x16 array: perfect fit.
+        p = spatial_map(CONV, cfg(Dataflow.OS, rows=16, cols=16))
+        assert p.utilisation == 1.0
+
+    def test_os_poor_for_linear(self):
+        fc = LayerWorkload("fc", "linear", 256, 10, 1, 1, 1)
+        p_os = spatial_map(fc, cfg(Dataflow.OS))
+        p_ws = spatial_map(fc, cfg(Dataflow.WS))
+        assert p_os.utilisation < p_ws.utilisation
+
+    def test_rs_ifmap_row_reuse(self):
+        p = spatial_map(CONV, cfg(Dataflow.RS, rbuf=1024))
+        assert p.ifmap_reuse == pytest.approx(3.0)  # R rows
+
+    def test_ws_utilisation_depends_on_channels(self):
+        narrow = LayerWorkload("n", "conv", 4, 4, 16, 3, 1)
+        wide = LayerWorkload("w", "conv", 32, 32, 16, 3, 1)
+        p_narrow = spatial_map(narrow, cfg(Dataflow.WS, rows=16, cols=16))
+        p_wide = spatial_map(wide, cfg(Dataflow.WS, rows=16, cols=16))
+        assert p_wide.utilisation > p_narrow.utilisation
+
+    def test_depthwise_avoids_k_mapping(self):
+        """Depthwise layers must not be starved by their K=C structure."""
+        p = spatial_map(DWCONV, cfg(Dataflow.WS))
+        assert p.utilisation > 0.5
+
+    def test_different_flows_give_different_profiles(self):
+        profiles = {f: spatial_map(CONV, cfg(f)) for f in Dataflow.ALL}
+        utils = {round(p.utilisation, 6) for p in profiles.values()}
+        reuses = {
+            (p.ifmap_reuse, p.weight_reuse, p.psum_reuse) for p in profiles.values()
+        }
+        assert len(reuses) >= 3  # dataflows are actually distinguishable

@@ -1,0 +1,98 @@
+"""Tests for simulator extensions: energy breakdown and batched inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.simulator import SystolicArraySimulator
+from repro.accel.workload import LayerWorkload, network_workloads
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SystolicArraySimulator()
+
+
+def cfg(flow="OS"):
+    return AcceleratorConfig(16, 16, 256, 256, flow)
+
+
+CONV = LayerWorkload("conv", "conv", 32, 64, 16, 3, 1)
+
+
+class TestEnergyBreakdown:
+    def test_components_sum_to_total(self, sim):
+        r = sim.simulate_layer(CONV, cfg())
+        assert r.breakdown.total_pj == pytest.approx(r.energy_pj)
+
+    def test_fractions_sum_to_one(self, sim):
+        r = sim.simulate_layer(CONV, cfg())
+        assert sum(r.breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_all_components_positive_for_conv(self, sim):
+        b = sim.simulate_layer(CONV, cfg()).breakdown
+        assert b.mac_pj > 0 and b.rbuf_pj > 0 and b.gbuf_pj > 0
+        assert b.dram_pj > 0 and b.leakage_pj > 0
+
+    def test_network_breakdown_sums_layers(self, sim, genotype):
+        report = sim.simulate_genotype(genotype, cfg(), num_cells=3,
+                                       stem_channels=8, image_size=16)
+        total = report.energy_breakdown()
+        assert total.total_pj == pytest.approx(
+            sum(r.breakdown.total_pj for r in report.layers)
+        )
+        assert total.total_pj == pytest.approx(report.energy_mj * 1e9, rel=1e-9)
+
+    def test_nlr_shifts_energy_to_gbuf(self, sim):
+        """No local reuse -> a larger gbuf share than weight-stationary."""
+        ws = sim.simulate_layer(CONV, cfg("WS")).breakdown.fractions()
+        nlr = sim.simulate_layer(CONV, cfg("NLR")).breakdown.fractions()
+        assert nlr["gbuf"] > ws["gbuf"]
+
+    def test_memory_dominates_macs(self, sim):
+        """Eyeriss's classic observation: data movement outweighs compute."""
+        b = sim.simulate_layer(CONV, cfg()).breakdown
+        assert b.gbuf_pj + b.dram_pj + b.rbuf_pj > b.mac_pj
+
+
+class TestBatchedInference:
+    def test_macs_scale_linearly(self):
+        one = LayerWorkload("l", "conv", 8, 8, 16, 3, 1, batch=1)
+        four = LayerWorkload("l", "conv", 8, 8, 16, 3, 1, batch=4)
+        assert four.macs == 4 * one.macs
+
+    def test_fmaps_scale_weights_do_not(self):
+        one = LayerWorkload("l", "conv", 8, 8, 16, 3, 1, batch=1)
+        four = LayerWorkload("l", "conv", 8, 8, 16, 3, 1, batch=4)
+        assert four.ifmap_bytes == 4 * one.ifmap_bytes
+        assert four.ofmap_bytes == 4 * one.ofmap_bytes
+        assert four.weight_bytes == one.weight_bytes
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            LayerWorkload("l", "conv", 8, 8, 16, 3, 1, batch=0)
+
+    def test_network_workloads_batch_passthrough(self, genotype):
+        b1 = network_workloads(genotype, num_cells=3, stem_channels=8,
+                               image_size=16, batch=1)
+        b8 = network_workloads(genotype, num_cells=3, stem_channels=8,
+                               image_size=16, batch=8)
+        assert sum(l.macs for l in b8) == pytest.approx(
+            8 * sum(l.macs for l in b1)
+        )
+
+    def test_batching_amortises_weight_energy(self, sim, genotype):
+        """Energy per image must drop with batch size (weight-traffic reuse)."""
+        r1 = sim.simulate_genotype(genotype, cfg(), num_cells=3, stem_channels=8,
+                                   image_size=16, batch=1)
+        r8 = sim.simulate_genotype(genotype, cfg(), num_cells=3, stem_channels=8,
+                                   image_size=16, batch=8)
+        assert r8.energy_mj / 8 < r1.energy_mj
+
+    def test_batching_increases_total_latency(self, sim, genotype):
+        r1 = sim.simulate_genotype(genotype, cfg(), num_cells=3, stem_channels=8,
+                                   image_size=16, batch=1)
+        r8 = sim.simulate_genotype(genotype, cfg(), num_cells=3, stem_channels=8,
+                                   image_size=16, batch=8)
+        assert r8.latency_ms > r1.latency_ms

@@ -1,0 +1,82 @@
+"""Tests for the global-buffer tiling mapper."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.mapper import TILE_GRID, Tiling, choose_tiling
+from repro.accel.workload import LayerWorkload
+
+
+def cfg(gbuf_kb=256):
+    return AcceleratorConfig(16, 16, gbuf_kb, 256, "OS")
+
+
+SMALL = LayerWorkload("small", "conv", 8, 8, 8, 3, 1)
+BIG = LayerWorkload("big", "conv", 256, 256, 64, 5, 1)
+
+
+class TestChooseTiling:
+    def test_small_layer_fits_untiled(self):
+        t = choose_tiling(SMALL, cfg(1024))
+        assert t.feasible
+        assert (t.nc, t.nk, t.ns) == (1, 1, 1)
+        # Untiled: every datatype crosses DRAM exactly once.
+        assert t.dram_ifmap_bytes == SMALL.ifmap_bytes
+        assert t.dram_weight_bytes == SMALL.weight_bytes
+        assert t.dram_ofmap_bytes == SMALL.ofmap_bytes
+
+    def test_traffic_at_least_one_pass(self):
+        for layer in (SMALL, BIG):
+            t = choose_tiling(layer, cfg(108))
+            assert t.dram_ifmap_bytes >= layer.ifmap_bytes
+            assert t.dram_weight_bytes >= layer.weight_bytes
+            assert t.dram_ofmap_bytes >= layer.ofmap_bytes
+
+    def test_big_layer_needs_tiling(self):
+        t = choose_tiling(BIG, cfg(108))
+        assert t.nc * t.nk * t.ns > 1
+
+    def test_larger_gbuf_never_increases_traffic(self):
+        small_buf = choose_tiling(BIG, cfg(108)).dram_bytes
+        large_buf = choose_tiling(BIG, cfg(1024)).dram_bytes
+        assert large_buf <= small_buf
+
+    @given(gbuf=st.sampled_from([108, 196, 256, 512, 1024]))
+    @settings(deadline=None)
+    def test_chosen_tile_fits_budget(self, gbuf):
+        t = choose_tiling(BIG, cfg(gbuf))
+        if t.feasible:
+            tile_set = (
+                BIG.ifmap_bytes / (t.nc * t.ns)
+                + BIG.weight_bytes / (t.nc * t.nk)
+                + BIG.ofmap_bytes / (t.nk * t.ns)
+            )
+            assert tile_set <= gbuf * 1024 * 0.9 + 1e-6
+
+    def test_tile_counts_from_grid(self):
+        t = choose_tiling(BIG, cfg(196))
+        assert t.nc in TILE_GRID and t.nk in TILE_GRID and t.ns in TILE_GRID
+
+    def test_weightless_layer_no_weight_traffic(self):
+        pool = LayerWorkload("pool", "pool", 64, 64, 32, 3, 1)
+        t = choose_tiling(pool, cfg(108))
+        assert t.dram_weight_bytes == 0.0
+
+    def test_infeasible_marks_flag(self):
+        huge = LayerWorkload("huge", "conv", 4096, 4096, 64, 5, 1)
+        t = choose_tiling(huge, cfg(1))  # 1 KB buffer: nothing fits
+        assert not t.feasible
+        assert t.dram_bytes > huge.total_bytes
+
+    def test_dram_bytes_property(self):
+        t = Tiling(1, 2, 3, 10.0, 20.0, 30.0, True)
+        assert t.dram_bytes == 60.0
+
+    def test_psum_spill_formula(self):
+        """With nc input-channel tiles, the ofmap crosses DRAM 2*nc-1 times."""
+        t = choose_tiling(BIG, cfg(108))
+        assert t.dram_ofmap_bytes == BIG.ofmap_bytes * (2 * t.nc - 1)

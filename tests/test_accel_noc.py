@@ -1,0 +1,97 @@
+"""Tests for the optional network-on-chip traffic model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.config import AcceleratorConfig, Dataflow
+from repro.accel.dataflow import spatial_map
+from repro.accel.noc import DEFAULT_NOC_MODEL, NocModel
+from repro.accel.simulator import SystolicArraySimulator
+from repro.accel.workload import LayerWorkload
+
+CONV = LayerWorkload("conv", "conv", 32, 64, 16, 3, 1)
+POOL = LayerWorkload("pool", "pool", 32, 32, 16, 3, 1)
+
+
+def cfg(flow="WS", rows=16, cols=16):
+    return AcceleratorConfig(rows, cols, 256, 256, flow)
+
+
+class TestNocModel:
+    def test_mean_hops_all_dataflows(self):
+        model = NocModel()
+        for flow in Dataflow.ALL:
+            hops = model.mean_hops(cfg(flow))
+            assert set(hops) == {"ifmap", "weight", "psum"}
+            assert all(h >= 0 for h in hops.values())
+
+    def test_bigger_array_more_hops(self):
+        model = NocModel()
+        small = model.mean_hops(cfg("WS", rows=8, cols=8))
+        big = model.mean_hops(cfg("WS", rows=16, cols=32))
+        assert big["ifmap"] > small["ifmap"]
+        assert big["psum"] > small["psum"]
+
+    def test_layer_energy_positive(self):
+        mapping = spatial_map(CONV, cfg("WS"))
+        pj = DEFAULT_NOC_MODEL.layer_energy_pj(CONV, cfg("WS"), mapping)
+        assert pj > 0
+
+    def test_weightless_layer_skips_weight_traffic(self):
+        config = cfg("NLR")
+        mapping = spatial_map(POOL, config)
+        pj_pool = DEFAULT_NOC_MODEL.layer_energy_pj(POOL, config, mapping)
+        assert pj_pool > 0  # still moves ifmaps and psums
+
+    def test_nlr_pays_more_than_os(self):
+        """Unicast-everything (NLR) must out-cost output-stationary."""
+        pj = {}
+        for flow in ("NLR", "OS"):
+            config = cfg(flow)
+            mapping = spatial_map(CONV, config)
+            pj[flow] = DEFAULT_NOC_MODEL.layer_energy_pj(CONV, config, mapping)
+        assert pj["NLR"] > pj["OS"]
+
+
+class TestSimulatorIntegration:
+    def test_off_by_default(self):
+        sim = SystolicArraySimulator()
+        r = sim.simulate_layer(CONV, cfg())
+        assert r.breakdown.noc_pj == 0.0
+
+    def test_enabled_adds_energy(self):
+        base = SystolicArraySimulator().simulate_layer(CONV, cfg())
+        with_noc = SystolicArraySimulator(include_noc=True).simulate_layer(CONV, cfg())
+        assert with_noc.breakdown.noc_pj > 0
+        assert with_noc.energy_pj > base.energy_pj
+        assert with_noc.energy_pj == pytest.approx(
+            base.energy_pj + with_noc.breakdown.noc_pj
+        )
+
+    def test_network_breakdown_includes_noc(self, genotype):
+        sim = SystolicArraySimulator(include_noc=True)
+        report = sim.simulate_genotype(genotype, cfg(), num_cells=3,
+                                       stem_channels=8, image_size=16)
+        assert report.energy_breakdown().noc_pj > 0
+        assert "noc" in report.layers[0].breakdown.fractions()
+
+    def test_custom_noc_model(self):
+        cheap = SystolicArraySimulator(include_noc=True, noc_model=NocModel(hop_pj=0.01))
+        costly = SystolicArraySimulator(include_noc=True, noc_model=NocModel(hop_pj=1.0))
+        a = cheap.simulate_layer(CONV, cfg()).breakdown.noc_pj
+        b = costly.simulate_layer(CONV, cfg()).breakdown.noc_pj
+        assert b == pytest.approx(100 * a)
+
+    def test_big_arrays_penalised_when_enabled(self, genotype):
+        """With NoC on, the energy gap between small and big arrays widens."""
+        small_cfg = AcceleratorConfig(8, 8, 256, 256, "WS")
+        big_cfg = AcceleratorConfig(16, 32, 256, 256, "WS")
+        base = SystolicArraySimulator()
+        noc = SystolicArraySimulator(include_noc=True)
+        kwargs = dict(num_cells=3, stem_channels=8, image_size=16)
+        gap_base = (base.simulate_genotype(genotype, big_cfg, **kwargs).energy_mj
+                    - base.simulate_genotype(genotype, small_cfg, **kwargs).energy_mj)
+        gap_noc = (noc.simulate_genotype(genotype, big_cfg, **kwargs).energy_mj
+                   - noc.simulate_genotype(genotype, small_cfg, **kwargs).energy_mj)
+        assert gap_noc > gap_base

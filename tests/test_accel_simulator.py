@@ -1,0 +1,155 @@
+"""Tests for the analytical systolic-array simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.config import AcceleratorConfig, Dataflow, enumerate_configs
+from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.accel.simulator import SystolicArraySimulator
+from repro.accel.workload import LayerWorkload, network_workloads
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SystolicArraySimulator()
+
+
+CONV = LayerWorkload("conv", "conv", 32, 64, 16, 3, 1)
+POOL = LayerWorkload("pool", "pool", 32, 32, 16, 3, 1)
+
+
+def cfg(rows=16, cols=16, gbuf=256, rbuf=256, flow="OS"):
+    return AcceleratorConfig(rows, cols, gbuf, rbuf, flow)
+
+
+class TestEnergyModel:
+    def test_hierarchy_ordering(self):
+        em = DEFAULT_ENERGY_MODEL
+        assert em.rbuf_pj < em.gbuf_pj < em.dram_pj
+
+    def test_leakage_scales_with_hardware(self):
+        em = DEFAULT_ENERGY_MODEL
+        small = em.leakage_pj_per_cycle(cfg(rows=8, cols=8, gbuf=108, rbuf=64))
+        big = em.leakage_pj_per_cycle(cfg(rows=16, cols=32, gbuf=1024, rbuf=1024))
+        assert big > small
+
+    def test_cycles_to_ms(self):
+        em = EnergyModel(freq_mhz=1000.0)
+        assert em.cycles_to_ms(1_000_000) == pytest.approx(1.0)
+
+
+class TestLayerSimulation:
+    def test_report_fields_positive(self, sim):
+        r = sim.simulate_layer(CONV, cfg())
+        assert r.macs > 0
+        assert r.cycles > r.compute_cycles - 1
+        assert r.energy_pj > 0
+        assert 0 < r.utilisation <= 1
+
+    def test_latency_covers_both_bounds(self, sim):
+        r = sim.simulate_layer(CONV, cfg())
+        assert r.cycles >= r.compute_cycles
+        assert r.cycles >= r.dram_cycles
+
+    def test_more_pes_reduce_compute_cycles(self, sim):
+        small = sim.simulate_layer(CONV, cfg(rows=8, cols=8))
+        big = sim.simulate_layer(CONV, cfg(rows=16, cols=32))
+        assert big.compute_cycles < small.compute_cycles
+
+    def test_bigger_gbuf_never_more_dram(self, sim):
+        heavy = LayerWorkload("h", "conv", 128, 128, 32, 3, 1)
+        small = sim.simulate_layer(heavy, cfg(gbuf=108))
+        big = sim.simulate_layer(heavy, cfg(gbuf=1024))
+        assert big.dram_bytes <= small.dram_bytes
+
+    def test_pool_layer_cheap(self, sim):
+        conv = sim.simulate_layer(CONV, cfg())
+        pool = sim.simulate_layer(POOL, cfg())
+        assert pool.energy_pj < conv.energy_pj
+
+    def test_dataflow_changes_energy(self, sim):
+        energies = {
+            flow: sim.simulate_layer(CONV, cfg(flow=flow)).energy_pj
+            for flow in Dataflow.ALL
+        }
+        assert len({round(e) for e in energies.values()}) > 1
+
+    def test_nlr_burns_more_gbuf_energy(self, sim):
+        """No local reuse -> strictly more energy than WS on a conv layer."""
+        ws = sim.simulate_layer(CONV, cfg(flow="WS"))
+        nlr = sim.simulate_layer(CONV, cfg(flow="NLR"))
+        assert nlr.energy_pj > ws.energy_pj
+
+
+class TestNetworkSimulation:
+    def test_totals_are_sums(self, sim, genotype):
+        layers = network_workloads(genotype, num_cells=3, stem_channels=8,
+                                   image_size=16)
+        report = sim.simulate_network(layers, cfg())
+        assert report.total_macs == pytest.approx(sum(r.macs for r in report.layers))
+        assert report.energy_mj == pytest.approx(
+            sum(r.energy_pj for r in report.layers) * 1e-9
+        )
+        cycles = sum(r.cycles for r in report.layers)
+        assert report.latency_ms == pytest.approx(
+            sim.energy_model.cycles_to_ms(cycles)
+        )
+
+    def test_empty_network_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.simulate_network([], cfg())
+
+    def test_simulate_genotype_wrapper(self, sim, genotype):
+        report = sim.simulate_genotype(genotype, cfg(), num_cells=3,
+                                       stem_channels=8, image_size=16)
+        assert report.latency_ms > 0
+        assert report.energy_mj > 0
+
+    def test_deterministic(self, sim, genotype):
+        a = sim.simulate_genotype(genotype, cfg(), num_cells=3, stem_channels=8,
+                                  image_size=16)
+        b = sim.simulate_genotype(genotype, cfg(), num_cells=3, stem_channels=8,
+                                  image_size=16)
+        assert a.latency_ms == b.latency_ms
+        assert a.energy_mj == b.energy_mj
+
+    def test_bigger_network_costs_more(self, sim, genotype):
+        small = sim.simulate_genotype(genotype, cfg(), num_cells=3,
+                                      stem_channels=8, image_size=16)
+        big = sim.simulate_genotype(genotype, cfg(), num_cells=6,
+                                    stem_channels=8, image_size=16)
+        assert big.energy_mj > small.energy_mj
+        assert big.latency_ms > small.latency_ms
+
+    def test_energy_per_mac_sane(self, sim, genotype):
+        report = sim.simulate_genotype(genotype, cfg(), num_cells=3,
+                                       stem_channels=8, image_size=16)
+        # Total energy/MAC must exceed the bare MAC cost and stay within
+        # two orders of magnitude of it (memory dominates, not absurdity).
+        assert 1.0 < report.energy_per_mac_pj < 200.0
+
+    def test_report_text_and_profile(self, sim, genotype):
+        report = sim.simulate_genotype(genotype, cfg(), num_cells=3,
+                                       stem_channels=8, image_size=16)
+        text = report.to_text(top=3)
+        assert "latency" in text and "energy" in text
+        assert text.count("mJ") >= 3
+        top = report.top_energy_layers(3)
+        assert len(top) == 3
+        assert top[0].energy_pj >= top[1].energy_pj >= top[2].energy_pj
+        assert 0.0 < report.mean_utilisation <= 1.0
+
+    def test_latency_energy_tradeoff_exists(self, sim, genotype):
+        """Across the whole HW space there is no single config that is both
+        the fastest and the most energy-efficient (otherwise co-search would
+        be pointless)."""
+        reports = [
+            (c, sim.simulate_genotype(genotype, c, num_cells=3, stem_channels=8,
+                                      image_size=16))
+            for c in list(enumerate_configs())[::40]
+        ]
+        fastest = min(reports, key=lambda cr: cr[1].latency_ms)
+        greenest = min(reports, key=lambda cr: cr[1].energy_mj)
+        assert fastest[0] != greenest[0]

@@ -1,0 +1,151 @@
+"""Tests for workload extraction: MAC formulas, shapes, genotype expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.workload import (
+    WORD_BYTES,
+    LayerWorkload,
+    network_workloads,
+    reduction_positions,
+)
+
+
+class TestLayerWorkload:
+    def test_conv_macs_hand_computed(self):
+        # 16x16 output, 8->16 channels, 3x3: 16*8*9*16*16 = 294912.
+        layer = LayerWorkload("l", "conv", 8, 16, 16, 3, 1)
+        assert layer.macs == 16 * 8 * 9 * 16 * 16
+
+    def test_conv_stride2_output(self):
+        layer = LayerWorkload("l", "conv", 8, 8, 16, 3, 2)
+        assert layer.out_size == 8
+        assert layer.macs == 8 * 8 * 9 * 8 * 8
+
+    def test_dwconv_macs(self):
+        # depthwise C*k^2*OH*OW + pointwise K*C*OH*OW.
+        layer = LayerWorkload("l", "dwconv", 8, 8, 16, 3, 1)
+        assert layer.macs == 8 * 9 * 256 + 8 * 8 * 256
+
+    def test_dwconv_cheaper_than_conv(self):
+        conv = LayerWorkload("a", "conv", 32, 32, 16, 3, 1)
+        dw = LayerWorkload("b", "dwconv", 32, 32, 16, 3, 1)
+        assert dw.macs < conv.macs
+
+    def test_pool_macs_discounted(self):
+        pool = LayerWorkload("p", "pool", 8, 8, 16, 3, 1)
+        assert 0 < pool.macs < 8 * 9 * 256  # comparator discount applied
+
+    def test_pool_has_no_weights(self):
+        assert LayerWorkload("p", "pool", 8, 8, 16, 3, 1).weight_bytes == 0
+
+    def test_linear(self):
+        fc = LayerWorkload("fc", "linear", 128, 10, 1, 1, 1)
+        assert fc.macs == 1280
+        assert fc.weight_bytes == 1280 * WORD_BYTES
+        assert fc.out_size == 1
+
+    def test_conv_weight_bytes(self):
+        layer = LayerWorkload("l", "conv", 4, 8, 16, 5, 1)
+        assert layer.weight_bytes == 8 * 4 * 25 * WORD_BYTES
+
+    def test_fmap_bytes(self):
+        layer = LayerWorkload("l", "conv", 4, 8, 16, 3, 2)
+        assert layer.ifmap_bytes == 4 * 256 * WORD_BYTES
+        assert layer.ofmap_bytes == 8 * 64 * WORD_BYTES
+
+    def test_kernel5_vs_3(self):
+        k3 = LayerWorkload("a", "conv", 8, 8, 16, 3, 1)
+        k5 = LayerWorkload("b", "conv", 8, 8, 16, 5, 1)
+        assert k5.macs / k3.macs == pytest.approx(25 / 9)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            LayerWorkload("l", "fft", 4, 4, 8, 3, 1)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            LayerWorkload("l", "conv", 0, 4, 8, 3, 1)
+
+
+class TestReductionPositions:
+    def test_paper_layout_six_cells(self):
+        # 6 cells -> reductions at 2 and 4 (4 normal + 2 reduction).
+        assert reduction_positions(6) == (2, 4)
+
+    def test_three_cells(self):
+        assert reduction_positions(3) == (1, 2)
+
+    def test_single_cell(self):
+        assert reduction_positions(1) == ()
+
+    def test_two_cells(self):
+        assert reduction_positions(2) == (1,)
+
+
+class TestNetworkWorkloads:
+    def test_structure(self, genotype):
+        layers = network_workloads(genotype, num_cells=6, stem_channels=16,
+                                   image_size=32)
+        names = [l.name for l in layers]
+        assert names[0] == "stem"
+        assert names[-1] == "classifier"
+        # Per cell: 2 preprocess + 10 node ops.
+        assert len(layers) == 1 + 6 * 12 + 1
+
+    def test_spatial_sizes_follow_reductions(self, genotype):
+        layers = network_workloads(genotype, num_cells=6, stem_channels=8,
+                                   image_size=32)
+        by_cell = {}
+        for l in layers:
+            if l.name.startswith("cell") and ".node" in l.name:
+                cell = int(l.name[4])
+                by_cell.setdefault(cell, []).append(l)
+        # Cells 0-1 at 32, 2-3 at 16, 4-5 at 8 (output sizes).
+        assert all(l.out_size == 32 for l in by_cell[0])
+        assert all(l.out_size == 16 for l in by_cell[2])
+        assert all(l.out_size == 8 for l in by_cell[4])
+
+    def test_channels_double_at_reductions(self, genotype):
+        layers = network_workloads(genotype, num_cells=6, stem_channels=8,
+                                   image_size=32)
+        node_layers = [l for l in layers if ".node" in l.name]
+        cell0 = [l for l in node_layers if l.name.startswith("cell0.")]
+        cell2 = [l for l in node_layers if l.name.startswith("cell2.")]
+        cell4 = [l for l in node_layers if l.name.startswith("cell4.")]
+        assert all(l.in_channels == 8 for l in cell0)
+        assert all(l.in_channels == 16 for l in cell2)
+        assert all(l.in_channels == 32 for l in cell4)
+
+    def test_classifier_width_matches_loose_ends(self, genotype):
+        layers = network_workloads(genotype, num_cells=6, stem_channels=8,
+                                   image_size=32)
+        loose = len(genotype.normal.loose_ends())
+        assert layers[-1].in_channels == 32 * loose
+
+    def test_consistent_with_cell_network_params(self, genotype, rng):
+        """Workload weight bytes must equal the real network's conv/linear
+        parameter count (x WORD_BYTES): the simulator and the trainable net
+        describe the same machine."""
+        from repro.nas.network import CellNetwork
+
+        net = CellNetwork(genotype, num_cells=3, stem_channels=8, rng=rng)
+        layers = network_workloads(genotype, num_cells=3, stem_channels=8,
+                                   image_size=16)
+        workload_weights = sum(l.weight_bytes for l in layers) // WORD_BYTES
+        net_weights = sum(
+            p.data.size for p in net.parameters() if p.weight_decay
+        )
+        # BN parameters are excluded on both sides; linear bias is tiny and
+        # excluded from the workload model.
+        bias = net.classifier.bias.data.size
+        assert workload_weights == net_weights + 0 or workload_weights == net_weights
+        assert abs(workload_weights - net_weights) <= bias
+
+    def test_total_macs_scale_with_image_size(self, genotype):
+        small = network_workloads(genotype, num_cells=3, stem_channels=8,
+                                  image_size=16)
+        large = network_workloads(genotype, num_cells=3, stem_channels=8,
+                                  image_size=32)
+        assert sum(l.macs for l in large) > 3 * sum(l.macs for l in small)

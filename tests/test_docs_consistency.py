@@ -1,0 +1,124 @@
+"""Documentation/code consistency checks.
+
+Keeps README.md, DESIGN.md and EXPERIMENTS.md honest: every module,
+example and benchmark they reference must exist, and the paper constants
+quoted in prose must match the code.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(name: str) -> str:
+    with open(os.path.join(ROOT, name)) as handle:
+        return handle.read()
+
+
+class TestReferencedFilesExist:
+    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+    def test_docs_present(self, doc):
+        assert os.path.exists(os.path.join(ROOT, doc))
+
+    def test_examples_referenced_in_readme_exist(self):
+        readme = read("README.md")
+        for match in re.findall(r"examples/(\w+\.py)", readme):
+            assert os.path.exists(os.path.join(ROOT, "examples", match)), match
+
+    def test_benchmarks_referenced_in_readme_exist(self):
+        readme = read("README.md")
+        for match in re.findall(r"(test_\w+\.py)", readme):
+            assert os.path.exists(os.path.join(ROOT, "benchmarks", match)), match
+
+    def test_design_bench_targets_exist(self):
+        design = read("DESIGN.md")
+        for match in re.findall(r"benchmarks/(test_\w+\.py)", design):
+            assert os.path.exists(os.path.join(ROOT, "benchmarks", match)), match
+
+    def test_design_modules_exist(self):
+        design = read("DESIGN.md")
+        for match in set(re.findall(r"`repro\.([a-z_.]+)`", design)):
+            parts = match.split(".")
+            # Accept `repro.pkg.module` or `repro.pkg.module.attribute`.
+            candidates = [parts, parts[:-1]] if len(parts) > 1 else [parts]
+            found = False
+            for candidate in candidates:
+                base = os.path.join(ROOT, "src", "repro", *candidate)
+                if os.path.exists(base + ".py") or os.path.isdir(base):
+                    found = True
+                    break
+            assert found, f"repro.{match} referenced in DESIGN.md but missing"
+
+
+class TestPaperConstantsMatchCode:
+    def test_sequence_split(self):
+        from repro.nas.encoding import DNN_TOKENS, HW_TOKENS, SEQUENCE_LENGTH
+
+        # Sec. III-C: "44 hyper-parameters (where S=40, L=4)".
+        assert (DNN_TOKENS, HW_TOKENS, SEQUENCE_LENGTH) == (40, 4, 44)
+
+    def test_controller_hidden_units(self):
+        from repro.search.controller import Controller
+
+        assert Controller().hidden_dim == 120  # "LSTM with 120 hidden units"
+
+    def test_controller_hyperparameters(self):
+        from repro.search.controller import Controller
+        from repro.search.reinforce import ReinforceSearch
+        from repro.search.reward import BALANCED
+        from repro.search.evaluator import Evaluation
+
+        c = Controller()
+        assert c.temperature == pytest.approx(1.1)
+        assert c.tanh_constant == pytest.approx(2.5)
+        search = ReinforceSearch(
+            c, lambda p: Evaluation(0.5, 1.0, 1.0), BALANCED
+        )
+        assert search.optimiser.lr == pytest.approx(0.0035)
+        assert search.entropy_weight == pytest.approx(1e-4)
+
+    def test_paper_thresholds(self):
+        from repro.search.reward import PAPER_T_EER_MJ, PAPER_T_LAT_MS
+
+        assert PAPER_T_LAT_MS == 1.2  # "latency within 1.2 ms"
+        assert PAPER_T_EER_MJ == 9.0  # "energy within 9 mJ"
+
+    def test_six_operations(self):
+        from repro.nas.ops import NUM_OPS, OP_NAMES
+
+        assert NUM_OPS == 6
+        assert set(OP_NAMES) == {
+            "conv3x3", "conv5x5", "dwconv3x3", "dwconv5x5",
+            "maxpool3x3", "avgpool3x3",
+        }
+
+    def test_seven_nodes_per_cell(self):
+        from repro.nas.genotype import NUM_COMPUTED, NUM_NODES
+
+        assert NUM_NODES == 7  # "in this work, we use 7 nodes"
+        assert NUM_COMPUTED == 5
+
+    def test_hypernet_recipe_defaults(self):
+        from repro.nas.hypernet import HyperNetTrainer
+        from repro.nas.hypernet import HyperNet
+        import numpy as np
+
+        trainer = HyperNetTrainer(
+            HyperNet(num_cells=3, stem_channels=4, rng=np.random.default_rng(0))
+        )
+        # Sec. IV-B: 300 epochs, momentum 0.9, wd 4e-5, cosine 0.05 -> 0.0001.
+        assert trainer.epochs == 300
+        assert trainer.optimiser.momentum == pytest.approx(0.9)
+        assert trainer.optimiser.weight_decay == pytest.approx(4e-5)
+        assert trainer.schedule.lr_max == pytest.approx(0.05)
+        assert trainer.schedule.lr_min == pytest.approx(0.0001)
+
+    def test_paper_scale_values_quoted_in_experiments_md(self):
+        text = read("EXPERIMENTS.md")
+        assert "1.42" in text and "3.07" in text  # Fig. 7 spread quoted
+        assert "2000" in text  # GP speedup claim quoted

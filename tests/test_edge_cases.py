@@ -1,0 +1,123 @@
+"""Edge-case tests across modules: tiny networks, width variants, encoding
+of the published baselines, evaluator corner cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.config import AcceleratorConfig
+from repro.baselines.genotypes import TWO_STAGE_BASELINES
+from repro.nas.encoding import CoDesignPoint, decode, encode
+from repro.nas.hypernet import HyperNet
+from repro.nas.network import CellNetwork
+from repro.nas.space import DnnSpace
+from repro.search.reinforce import SearchHistory
+
+
+def x32(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+class TestTinyNetworks:
+    def test_single_cell_network(self, genotype):
+        net = CellNetwork(genotype, num_cells=1, stem_channels=4,
+                          rng=np.random.default_rng(0))
+        assert net(x32((1, 3, 8, 8))).shape == (1, 10)
+
+    def test_two_cell_network(self, genotype):
+        net = CellNetwork(genotype, num_cells=2, stem_channels=4,
+                          rng=np.random.default_rng(1))
+        logits = net(x32((1, 3, 8, 8)))
+        assert logits.shape == (1, 10)
+        net.backward(np.ones_like(logits))
+
+    def test_minimum_image_size(self, genotype):
+        # 3 cells -> 2 reductions -> 8/4 = 2x2 final maps.
+        net = CellNetwork(genotype, num_cells=3, stem_channels=4,
+                          rng=np.random.default_rng(2))
+        assert net(x32((1, 3, 8, 8))).shape == (1, 10)
+
+    def test_batch_of_one(self, genotype):
+        net = CellNetwork(genotype, num_cells=3, stem_channels=4,
+                          rng=np.random.default_rng(3))
+        logits = net(x32((1, 3, 8, 8), seed=4))
+        net.backward(np.ones_like(logits))
+
+
+class TestHyperNetWidthVariants:
+    def test_extreme_loose_end_paths(self):
+        """Exercise both the 1-loose-end and 5-loose-end preprocessing
+        variants of the HyperNet."""
+        from repro.nas.genotype import NUM_COMPUTED, CellGenotype, Genotype, NodeSpec
+
+        hn = HyperNet(num_cells=3, stem_channels=4, rng=np.random.default_rng(5))
+        chain = CellGenotype(nodes=tuple(
+            NodeSpec(i - 1, i - 1, "conv3x3", "conv3x3")
+            for i in range(2, 2 + NUM_COMPUTED)
+        ))
+        parallel = CellGenotype(nodes=tuple(
+            NodeSpec(0, 1, "conv3x3", "maxpool3x3") for _ in range(NUM_COMPUTED)
+        ))
+        x = x32((2, 3, 8, 8), seed=6)
+        for normal, reduce_ in ((chain, chain), (parallel, parallel),
+                                (chain, parallel), (parallel, chain)):
+            g = Genotype(normal=normal, reduce=reduce_, name="extreme")
+            logits = hn.forward(x, g)
+            assert logits.shape == (2, 10)
+            hn.backward(np.ones_like(logits) / 20.0)
+
+
+class TestBaselineEncoding:
+    def test_all_baselines_encode_and_roundtrip(self, hw_config):
+        """The published cells must live inside the 44-token action space."""
+        for model in TWO_STAGE_BASELINES:
+            point = CoDesignPoint(genotype=model.genotype, config=hw_config)
+            tokens = encode(point)
+            restored = decode(tokens, name=model.name)
+            assert restored.genotype.normal == model.genotype.normal
+            assert restored.genotype.reduce == model.genotype.reduce
+            assert restored.config == hw_config
+
+
+class TestHistoryEdgeCases:
+    def test_top_more_than_available(self):
+        h = SearchHistory()
+        from repro.nas.encoding import SEQUENCE_LENGTH
+        from repro.search.reinforce import SearchSample
+
+        h.append(SearchSample(0, (0,) * SEQUENCE_LENGTH, 0.5, 0.5, 1.0, 1.0))
+        assert len(h.top(10)) == 1
+
+    def test_every_with_large_stride(self):
+        h = SearchHistory()
+        from repro.nas.encoding import SEQUENCE_LENGTH
+        from repro.search.reinforce import SearchSample
+
+        for i in range(3):
+            h.append(SearchSample(i, (i,) * SEQUENCE_LENGTH, 0.1, 0.5, 1.0, 1.0))
+        assert len(h.every(100)) == 1
+        assert len(h.every(0)) == 3  # clamped to 1
+
+
+class TestSimulatorTinyGeometry:
+    def test_one_by_one_pe_array(self, genotype):
+        """A degenerate 1x1 'array' must still simulate (slowly)."""
+        from repro.accel.simulator import SystolicArraySimulator
+
+        sim = SystolicArraySimulator()
+        cfg = AcceleratorConfig(1, 1, 108, 64, "OS")
+        report = sim.simulate_genotype(genotype, cfg, num_cells=3,
+                                       stem_channels=4, image_size=8)
+        big = sim.simulate_genotype(
+            genotype, AcceleratorConfig(16, 32, 108, 64, "OS"),
+            num_cells=3, stem_channels=4, image_size=8,
+        )
+        assert report.latency_ms > big.latency_ms
+
+    def test_image_smaller_than_kernel(self):
+        from repro.accel.workload import LayerWorkload
+
+        layer = LayerWorkload("tiny", "conv", 4, 4, 2, 5, 1)
+        assert layer.out_size == 2
+        assert layer.macs > 0

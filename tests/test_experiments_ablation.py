@@ -1,0 +1,39 @@
+"""Smoke tests for the ablation harnesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_context, run_search_strategy_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    context = get_context("smoke", 0)
+    return run_search_strategy_ablation("smoke", 0, context=context, iterations=12)
+
+
+class TestSearchStrategyAblation:
+    def test_all_histories(self, ablation):
+        assert len(ablation.rl) == 12
+        assert len(ablation.random) == 12
+        assert len(ablation.bayesopt) == 12
+        assert len(ablation.evolution) == 12
+        assert len(ablation.bandit) == 12
+
+    def test_summary_structure(self, ablation):
+        summary = ablation.summary()
+        assert set(summary) == {"rl", "random", "bayesopt", "evolution", "bandit"}
+        for stats in summary.values():
+            assert stats["best"] >= stats["tail_mean"] >= 0.0 or stats["best"] >= 0.0
+
+    def test_tail_mean_fraction(self, ablation):
+        full = ablation.tail_mean("rl", frac=1.0)
+        import numpy as np
+
+        assert full == pytest.approx(float(ablation.rl.rewards().mean()))
+
+    def test_best_matches_history(self, ablation):
+        assert ablation.best("random") == pytest.approx(
+            float(ablation.random.rewards().max())
+        )

@@ -1,0 +1,42 @@
+"""Tests for the one-shot report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_context
+from repro.experiments.report import generate_report, main
+
+
+@pytest.fixture(scope="module")
+def report():
+    context = get_context("smoke", 0)
+    return generate_report("smoke", 0, context=context, iterations=8,
+                           correlation_models=2)
+
+
+class TestGenerateReport:
+    def test_contains_every_section(self, report):
+        for heading in (
+            "Fig. 4", "Fig. 5(a)", "Fig. 5(b)", "Fig. 6(a)", "Fig. 6(b)",
+            "Fig. 6(c)", "Table 2", "Search-strategy ablation",
+        ):
+            assert heading in report, heading
+
+    def test_contains_key_results(self, report):
+        assert "gaussian_process" in report
+        assert "Yoso_eer" in report
+        assert "pearson r" in report
+        assert "energy ratio" in report
+
+    def test_markdown_structure(self, report):
+        assert report.startswith("# YOSO reproduction report")
+        assert report.count("## ") >= 7
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["--scale", "smoke", "--iterations", "6", "--output", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "YOSO reproduction report" in text
+        assert "Table 2" in text

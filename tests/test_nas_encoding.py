@@ -1,0 +1,120 @@
+"""Tests for the 44-token action-sequence encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import (
+    DATAFLOW_CHOICES,
+    GBUF_KB_CHOICES,
+    PE_CHOICES,
+    RBUF_B_CHOICES,
+)
+from repro.nas.encoding import (
+    DNN_TOKENS,
+    HW_TOKENS,
+    SEQUENCE_LENGTH,
+    CoDesignPoint,
+    decode,
+    encode,
+    random_sequence,
+    token_vocab_sizes,
+)
+from repro.nas.genotype import NUM_COMPUTED
+from repro.nas.ops import NUM_OPS
+
+
+def token_sequences():
+    vocab = token_vocab_sizes()
+    return st.tuples(*[st.integers(0, v - 1) for v in vocab]).map(list)
+
+
+class TestVocab:
+    def test_sequence_length_matches_paper(self):
+        # S = 40 DNN hyper-parameters, L = 4 accelerator parameters.
+        assert DNN_TOKENS == 40
+        assert HW_TOKENS == 4
+        assert SEQUENCE_LENGTH == 44
+
+    def test_vocab_length(self):
+        assert len(token_vocab_sizes()) == SEQUENCE_LENGTH
+
+    def test_input_vocab_grows_with_node_index(self):
+        vocab = token_vocab_sizes()
+        # First cell: nodes 2..6 -> quads (i, i, 6, 6).
+        for offset, node_idx in enumerate(range(2, 2 + NUM_COMPUTED)):
+            quad = vocab[offset * 4 : offset * 4 + 4]
+            assert quad == (node_idx, node_idx, NUM_OPS, NUM_OPS)
+
+    def test_hw_vocab_sizes(self):
+        vocab = token_vocab_sizes()
+        assert vocab[-4:] == (
+            len(PE_CHOICES),
+            len(GBUF_KB_CHOICES),
+            len(RBUF_B_CHOICES),
+            len(DATAFLOW_CHOICES),
+        )
+
+
+class TestRoundtrip:
+    def test_simple_roundtrip(self, rng):
+        seq = random_sequence(rng)
+        assert encode(decode(seq)) == seq
+
+    @given(token_sequences())
+    @settings(deadline=None, max_examples=100)
+    def test_roundtrip_property(self, seq):
+        point = decode(seq)
+        assert encode(point) == seq
+
+    @given(token_sequences())
+    @settings(deadline=None, max_examples=50)
+    def test_decoded_points_valid(self, seq):
+        point = decode(seq)
+        assert point.genotype.normal.loose_ends()
+        assert (point.config.pe_rows, point.config.pe_cols) in PE_CHOICES
+        assert point.config.gbuf_kb in GBUF_KB_CHOICES
+        assert point.config.rbuf_bytes in RBUF_B_CHOICES
+        assert point.config.dataflow in DATAFLOW_CHOICES
+
+    def test_encode_of_fixture(self, genotype, hw_config):
+        point = CoDesignPoint(genotype=genotype, config=hw_config)
+        seq = encode(point)
+        restored = decode(seq)
+        assert restored.genotype.normal == genotype.normal
+        assert restored.config == hw_config
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode([0] * (SEQUENCE_LENGTH - 1))
+
+    def test_out_of_range_token_rejected(self, rng):
+        seq = random_sequence(rng)
+        seq[0] = 99
+        with pytest.raises(ValueError):
+            decode(seq)
+
+    def test_negative_token_rejected(self, rng):
+        seq = random_sequence(rng)
+        seq[3] = -1
+        with pytest.raises(ValueError):
+            decode(seq)
+
+    def test_random_sequences_always_valid(self):
+        rng = np.random.default_rng(9)
+        vocab = token_vocab_sizes()
+        for _ in range(50):
+            seq = random_sequence(rng)
+            assert len(seq) == SEQUENCE_LENGTH
+            assert all(0 <= t < v for t, v in zip(seq, vocab))
+
+    def test_describe(self, genotype, hw_config):
+        point = CoDesignPoint(genotype=genotype, config=hw_config)
+        text = point.describe()
+        assert "fixture" in text
+        assert "16*16" in text

@@ -1,0 +1,135 @@
+"""Tests for cell genotypes: validation, loose ends, serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nas.genotype import NUM_COMPUTED, NUM_NODES, CellGenotype, Genotype, NodeSpec
+from repro.nas.ops import OP_NAMES
+from repro.nas.space import DnnSpace
+
+
+def valid_cells():
+    """Hypothesis strategy producing valid CellGenotype instances."""
+
+    @st.composite
+    def build(draw):
+        nodes = []
+        for i in range(2, 2 + NUM_COMPUTED):
+            nodes.append(
+                NodeSpec(
+                    draw(st.integers(0, i - 1)),
+                    draw(st.integers(0, i - 1)),
+                    draw(st.sampled_from(OP_NAMES)),
+                    draw(st.sampled_from(OP_NAMES)),
+                )
+            )
+        return CellGenotype(nodes=tuple(nodes))
+
+    return build()
+
+
+class TestNodeSpec:
+    def test_valid(self):
+        NodeSpec(0, 1, "conv3x3", "maxpool3x3").validate(2)
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(2, 0, "conv3x3", "conv3x3").validate(2)
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(3, 0, "conv3x3", "conv3x3").validate(3)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(-1, 0, "conv3x3", "conv3x3").validate(2)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KeyError):
+            NodeSpec(0, 1, "conv7x7", "conv3x3").validate(2)
+
+
+class TestCellGenotype:
+    def test_requires_exact_node_count(self):
+        with pytest.raises(ValueError):
+            CellGenotype(nodes=(NodeSpec(0, 1, "conv3x3", "conv3x3"),))
+
+    def test_constructor_validates_nodes(self):
+        nodes = [NodeSpec(0, 1, "conv3x3", "conv3x3") for _ in range(NUM_COMPUTED)]
+        nodes[0] = NodeSpec(5, 0, "conv3x3", "conv3x3")  # invalid at position 2
+        with pytest.raises(ValueError):
+            CellGenotype(nodes=tuple(nodes))
+
+    def test_last_node_always_loose(self, simple_cell):
+        assert (NUM_NODES - 1) in simple_cell.loose_ends()
+
+    def test_loose_ends_exact(self, simple_cell):
+        # Fixture wiring: nodes 2,3,4,5 are consumed; only node 6 is loose.
+        assert simple_cell.loose_ends() == (6,)
+
+    def test_chain_cell_single_loose_end(self):
+        """A pure chain (each node feeds the next) has one loose end."""
+        nodes = tuple(
+            NodeSpec(i - 1, i - 1, "conv3x3", "conv3x3")
+            for i in range(2, 2 + NUM_COMPUTED)
+        )
+        assert CellGenotype(nodes=nodes).loose_ends() == (NUM_NODES - 1,)
+
+    def test_parallel_cell_all_loose(self):
+        """If every node reads only the cell inputs, all computed are loose."""
+        nodes = tuple(
+            NodeSpec(0, 1, "conv3x3", "conv3x3") for _ in range(NUM_COMPUTED)
+        )
+        assert CellGenotype(nodes=nodes).loose_ends() == tuple(range(2, NUM_NODES))
+
+    def test_op_counts_total(self, simple_cell):
+        counts = simple_cell.op_counts()
+        assert sum(counts.values()) == 2 * NUM_COMPUTED
+        assert set(counts) == set(OP_NAMES)
+
+    def test_serialisation_roundtrip(self, simple_cell):
+        assert CellGenotype.from_dict(simple_cell.to_dict()) == simple_cell
+
+    @given(valid_cells())
+    @settings(deadline=None, max_examples=50)
+    def test_roundtrip_property(self, cell):
+        assert CellGenotype.from_dict(cell.to_dict()) == cell
+
+    @given(valid_cells())
+    @settings(deadline=None, max_examples=50)
+    def test_loose_ends_invariants(self, cell):
+        loose = cell.loose_ends()
+        assert loose  # never empty
+        assert all(2 <= i < NUM_NODES for i in loose)
+        assert (NUM_NODES - 1) in loose
+        # Loose nodes are exactly those never used as an input.
+        assert set(loose).isdisjoint(cell.used_inputs())
+
+
+class TestGenotype:
+    def test_json_roundtrip(self, genotype):
+        restored = Genotype.from_json(genotype.to_json())
+        assert restored.normal == genotype.normal
+        assert restored.reduce == genotype.reduce
+        assert restored.name == genotype.name
+
+    def test_op_counts_sums_both_cells(self, genotype):
+        counts = genotype.op_counts()
+        assert sum(counts.values()) == 4 * NUM_COMPUTED
+
+    def test_sampled_genotypes_valid(self):
+        space = DnnSpace()
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            g = space.sample(rng)
+            # Constructors validate; additionally check loose ends exist.
+            assert g.normal.loose_ends()
+            assert g.reduce.loose_ends()
+
+    def test_default_name(self, simple_cell):
+        g = Genotype(normal=simple_cell, reduce=simple_cell)
+        assert g.name == "unnamed"

@@ -1,0 +1,154 @@
+"""Tests for the one-shot HyperNet and its uniform-sampling trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nas.hypernet import HyperNet, HyperNetTrainer, MixedCell
+from repro.nas.space import DnnSpace
+from repro.nn import functional as F
+
+
+def x32(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def hypernet():
+    return HyperNet(num_cells=3, stem_channels=4, num_classes=10,
+                    rng=np.random.default_rng(0))
+
+
+class TestHyperNetStructure:
+    def test_contains_all_edge_ops(self, hypernet):
+        cell: MixedCell = hypernet.cells[0]
+        # nodes 2..6, node i has i predecessors, 6 ops each.
+        expected = sum(i for i in range(2, 7)) * 6
+        assert len(cell.edge_ops) == expected
+
+    def test_reduction_positions(self, hypernet):
+        flags = [c.reduction for c in hypernet.cells]
+        assert flags == [False, True, True] or sum(flags) >= 1
+
+    def test_preprocess_variants_cover_all_loose_counts(self, hypernet):
+        # Later cells must accept widths base*1 .. base*5.
+        last = hypernet.cells[-1]
+        assert len(last.preprocess1) == 5
+
+    def test_classifier_variants(self, hypernet):
+        assert len(hypernet.classifiers) == 5
+
+
+class TestHyperNetForward:
+    def test_forward_many_paths(self, hypernet):
+        rng = np.random.default_rng(1)
+        x = x32((2, 3, 8, 8))
+        for _ in range(10):
+            g = hypernet.sample_genotype(rng)
+            logits = hypernet.forward(x, g)
+            assert logits.shape == (2, 10)
+            assert np.isfinite(logits).all()
+
+    def test_same_path_same_output(self, hypernet):
+        rng = np.random.default_rng(2)
+        g = hypernet.sample_genotype(rng)
+        x = x32((2, 3, 8, 8), seed=1)
+        assert np.array_equal(hypernet.forward(x, g), hypernet.forward(x, g))
+
+    def test_different_paths_differ(self, hypernet):
+        rng = np.random.default_rng(3)
+        g1 = hypernet.sample_genotype(rng)
+        g2 = hypernet.sample_genotype(rng)
+        assert g1.to_json() != g2.to_json()
+        x = x32((2, 3, 8, 8), seed=2)
+        assert not np.array_equal(hypernet.forward(x, g1), hypernet.forward(x, g2))
+
+    def test_backward_before_forward_raises(self):
+        hn = HyperNet(num_cells=3, stem_channels=4, rng=np.random.default_rng(4))
+        with pytest.raises(RuntimeError):
+            hn.backward(np.ones((2, 10), dtype=np.float32))
+
+    def test_evaluate_returns_fraction(self, hypernet):
+        rng = np.random.default_rng(5)
+        g = hypernet.sample_genotype(rng)
+        images = x32((16, 3, 8, 8), seed=3)
+        labels = np.random.default_rng(6).integers(0, 10, 16)
+        acc = hypernet.evaluate(g, images, labels, batch_size=8)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestPathIsolation:
+    def test_backward_touches_only_path_parameters(self):
+        hn = HyperNet(num_cells=3, stem_channels=4, rng=np.random.default_rng(7))
+        rng = np.random.default_rng(8)
+        g = hn.sample_genotype(rng)
+        x = x32((4, 3, 8, 8), seed=4)
+        hn.zero_grad()
+        logits = hn.forward(x, g)
+        _, grad = F.softmax_cross_entropy(logits, np.array([0, 1, 2, 3]))
+        hn.backward(grad)
+        # Count edge-op modules whose params received gradient: must equal
+        # the number of ops on the sampled path (2 per computed node per cell
+        # for ops with weights; pooling edges have only BN params which also
+        # receive gradient).
+        for cell in hn.cells:
+            spec = g.reduce if cell.reduction else g.normal
+            used = set()
+            for offset, node in enumerate(spec.nodes):
+                used.add((offset + 2, node.input1, node.op1))
+                used.add((offset + 2, node.input2, node.op2))
+            for key, op in cell.edge_ops.items():
+                touched = any(np.any(p.grad != 0) for p in op.parameters())
+                if key in used:
+                    assert touched, f"on-path op {key} got no gradient"
+                else:
+                    assert not touched, f"off-path op {key} got gradient"
+
+
+class TestHyperNetTrainer:
+    def test_one_epoch_runs_and_records(self, tiny_dataset):
+        hn = HyperNet(num_cells=3, stem_channels=4, rng=np.random.default_rng(9))
+        trainer = HyperNetTrainer(hn, epochs=1, seed=0)
+        history = trainer.fit(tiny_dataset, batch_size=32)
+        assert len(history) == 1
+        assert history[0].loss > 0
+        assert 0.0 <= history[0].accuracy <= 1.0
+
+    def test_lr_follows_cosine(self, tiny_dataset):
+        hn = HyperNet(num_cells=3, stem_channels=4, rng=np.random.default_rng(10))
+        trainer = HyperNetTrainer(hn, epochs=3, lr_max=0.05, lr_min=0.001, seed=0)
+        trainer.fit(tiny_dataset, batch_size=48)
+        lrs = [h.lr for h in trainer.history]
+        assert lrs[0] == pytest.approx(0.05)
+        assert lrs[-1] == pytest.approx(0.001)
+        assert lrs[0] > lrs[1] > lrs[2]
+
+    def test_training_reduces_loss(self, tiny_dataset):
+        hn = HyperNet(num_cells=3, stem_channels=4, rng=np.random.default_rng(11))
+        trainer = HyperNetTrainer(hn, epochs=4, lr_max=0.02, seed=0)
+        trainer.fit(tiny_dataset, batch_size=48, augment=False)
+        losses = [h.loss for h in trainer.history]
+        assert losses[-1] < losses[0]
+
+
+class TestUniformSampling:
+    def test_sampling_matches_eq6_marginals(self):
+        """Input choice ~ U{0..i-1} and op choice ~ U{ops} (Eq. 6)."""
+        space = DnnSpace()
+        rng = np.random.default_rng(12)
+        n = 3000
+        # Node index 2 (first computed): inputs in {0, 1}.
+        first_inputs = []
+        ops = []
+        for _ in range(n):
+            cell = space.sample_cell(rng)
+            first_inputs.append(cell.nodes[0].input1)
+            ops.append(cell.nodes[0].op1)
+        frac0 = np.mean([i == 0 for i in first_inputs])
+        assert abs(frac0 - 0.5) < 0.05
+        from collections import Counter
+
+        counts = Counter(ops)
+        for name, c in counts.items():
+            assert abs(c / n - 1 / 6) < 0.05, name

@@ -1,0 +1,63 @@
+"""Tests for stand-alone network training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nas.network import CellNetwork
+from repro.nas.train import TrainResult, evaluate_accuracy, train_network
+
+
+class TestTrainNetwork:
+    def test_result_fields(self, tiny_dataset, genotype):
+        net = CellNetwork(genotype, num_cells=3, stem_channels=4,
+                          rng=np.random.default_rng(0))
+        result = train_network(net, tiny_dataset, epochs=1, batch_size=32, seed=0)
+        assert result.epochs == 1
+        assert result.final_train_loss > 0
+        assert 0.0 <= result.val_accuracy <= 1.0
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_test_error_is_percent(self):
+        r = TrainResult(1, 0.0, 0.0, 0.0, test_accuracy=0.9)
+        assert r.test_error == pytest.approx(10.0)
+
+    def test_training_improves_over_untrained(self, tiny_dataset, genotype):
+        untrained = CellNetwork(genotype, num_cells=3, stem_channels=4,
+                                rng=np.random.default_rng(1))
+        base_acc = evaluate_accuracy(
+            untrained, tiny_dataset.val.images, tiny_dataset.val.labels
+        )
+        trained = CellNetwork(genotype, num_cells=3, stem_channels=4,
+                              rng=np.random.default_rng(1))
+        result = train_network(trained, tiny_dataset, epochs=6, batch_size=32,
+                               lr_max=0.03, augment=False, seed=0)
+        # On the easy synthetic task a few epochs must beat random guessing.
+        assert result.val_accuracy > max(base_acc, 0.12)
+
+    def test_deterministic(self, tiny_dataset, genotype):
+        results = []
+        for _ in range(2):
+            net = CellNetwork(genotype, num_cells=3, stem_channels=4,
+                              rng=np.random.default_rng(2))
+            results.append(
+                train_network(net, tiny_dataset, epochs=1, batch_size=32, seed=5)
+            )
+        assert results[0].final_train_loss == results[1].final_train_loss
+        assert results[0].val_accuracy == results[1].val_accuracy
+
+
+class TestEvaluateAccuracy:
+    def test_restores_training_mode(self, tiny_dataset, genotype):
+        net = CellNetwork(genotype, num_cells=3, stem_channels=4,
+                          rng=np.random.default_rng(3))
+        net.train()
+        evaluate_accuracy(net, tiny_dataset.val.images, tiny_dataset.val.labels)
+        assert net.training
+
+    def test_range(self, tiny_dataset, genotype):
+        net = CellNetwork(genotype, num_cells=3, stem_channels=4,
+                          rng=np.random.default_rng(4))
+        acc = evaluate_accuracy(net, tiny_dataset.val.images, tiny_dataset.val.labels)
+        assert 0.0 <= acc <= 1.0

@@ -1,0 +1,87 @@
+"""Tests for genotype visualisation and graph analysis."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.nas.genotype import NUM_COMPUTED, CellGenotype, NodeSpec
+from repro.nas.visualize import (
+    cell_depth,
+    cell_graph,
+    cell_to_dot,
+    describe_cell,
+    describe_genotype,
+    genotype_to_dot,
+)
+
+
+def chain_cell():
+    return CellGenotype(nodes=tuple(
+        NodeSpec(i - 1, i - 1, "conv3x3", "conv3x3")
+        for i in range(2, 2 + NUM_COMPUTED)
+    ))
+
+
+def parallel_cell():
+    return CellGenotype(nodes=tuple(
+        NodeSpec(0, 1, "conv3x3", "maxpool3x3") for _ in range(NUM_COMPUTED)
+    ))
+
+
+class TestCellGraph:
+    def test_is_dag(self, simple_cell):
+        graph = cell_graph(simple_cell)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_node_count(self, simple_cell):
+        graph = cell_graph(simple_cell)
+        assert graph.number_of_nodes() == 8  # 7 nodes + "out"
+
+    def test_edge_ops_recorded(self, simple_cell):
+        graph = cell_graph(simple_cell)
+        assert graph.edges[0, 2]["op"] == "conv3x3"
+        assert graph.edges[1, 2]["op"] == "dwconv3x3"
+
+    def test_loose_ends_feed_out(self, simple_cell):
+        graph = cell_graph(simple_cell)
+        preds = set(graph.predecessors("out"))
+        assert preds == set(simple_cell.loose_ends())
+
+
+class TestCellDepth:
+    def test_chain_is_deepest(self):
+        assert cell_depth(chain_cell()) == NUM_COMPUTED + 1
+
+    def test_parallel_is_shallowest(self):
+        assert cell_depth(parallel_cell()) == 2
+
+    def test_fixture_depth_in_between(self, simple_cell):
+        assert 2 <= cell_depth(simple_cell) <= NUM_COMPUTED + 1
+
+
+class TestDot:
+    def test_cell_dot_valid_structure(self, simple_cell):
+        dot = cell_to_dot(simple_cell)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "in0" in dot and "concat" in dot
+        assert "conv3x3" in dot
+
+    def test_genotype_dot_contains_both_cells(self, genotype):
+        dot = genotype_to_dot(genotype)
+        assert "digraph normal" in dot
+        assert "digraph reduce" in dot
+
+
+class TestDescribe:
+    def test_cell_description(self, simple_cell):
+        text = describe_cell(simple_cell)
+        assert text.count("\n") == NUM_COMPUTED  # one line per node + out line
+        assert "out = concat(" in text
+        assert "depth=" in text
+
+    def test_genotype_description(self, genotype):
+        text = describe_genotype(genotype)
+        assert "[normal]" in text and "[reduce]" in text
+        assert genotype.name in text

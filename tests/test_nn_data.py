@@ -1,0 +1,136 @@
+"""Tests for the synthetic dataset and augmentation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.data import BatchIterator, SyntheticCifar, random_crop_flip
+
+
+class TestSyntheticCifar:
+    def test_split_sizes_and_shapes(self, tiny_dataset):
+        ds = tiny_dataset
+        assert ds.train.images.shape == (96, 3, 8, 8)
+        assert ds.val.images.shape == (48, 3, 8, 8)
+        assert ds.test.images.shape == (48, 3, 8, 8)
+        assert ds.train.labels.shape == (96,)
+
+    def test_dtype(self, tiny_dataset):
+        assert tiny_dataset.train.images.dtype == np.float32
+        assert tiny_dataset.train.labels.dtype == np.int64
+
+    def test_labels_in_range(self, tiny_dataset):
+        for split in (tiny_dataset.train, tiny_dataset.val, tiny_dataset.test):
+            assert split.labels.min() >= 0
+            assert split.labels.max() < 10
+
+    def test_normalised(self, tiny_dataset):
+        x = tiny_dataset.train.images
+        assert abs(float(x.mean())) < 0.1
+        assert 0.5 < float(x.std()) < 2.0
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticCifar(image_size=8, train_size=16, val_size=8, test_size=8, seed=7)
+        b = SyntheticCifar(image_size=8, train_size=16, val_size=8, test_size=8, seed=7)
+        assert np.array_equal(a.train.images, b.train.images)
+        assert np.array_equal(a.train.labels, b.train.labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCifar(image_size=8, train_size=16, val_size=8, test_size=8, seed=1)
+        b = SyntheticCifar(image_size=8, train_size=16, val_size=8, test_size=8, seed=2)
+        assert not np.array_equal(a.train.images, b.train.images)
+
+    def test_classes_are_separable_by_statistics(self):
+        """Per-class mean images must differ (the task is learnable)."""
+        ds = SyntheticCifar(image_size=8, train_size=400, val_size=8, test_size=8,
+                            noise=0.3, seed=0)
+        means = []
+        for k in range(10):
+            mask = ds.train.labels == k
+            if mask.sum() > 5:
+                means.append(ds.train.images[mask].mean(axis=0))
+        dists = [
+            float(np.abs(a - b).mean())
+            for i, a in enumerate(means)
+            for b in means[i + 1 :]
+        ]
+        assert np.mean(dists) > 0.05
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SyntheticCifar(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticCifar(image_size=2)
+
+    def test_custom_class_count(self):
+        ds = SyntheticCifar(num_classes=4, image_size=8, train_size=40,
+                            val_size=8, test_size=8, seed=0)
+        assert ds.train.labels.max() < 4
+
+
+class TestAugmentation:
+    def test_shape_preserved(self, rng):
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        out = random_crop_flip(x, rng)
+        assert out.shape == x.shape
+
+    def test_flip_only_reverses_width(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(2 * 3 * 4 * 4, dtype=np.float32).reshape(2, 3, 4, 4)
+        out = random_crop_flip(x, rng, pad=0)
+        for i in range(2):
+            same = np.array_equal(out[i], x[i])
+            flipped = np.array_equal(out[i], x[i, :, :, ::-1])
+            assert same or flipped
+
+    @given(pad=st.integers(0, 3))
+    @settings(deadline=None, max_examples=10)
+    def test_values_come_from_padded_input(self, pad):
+        rng = np.random.default_rng(pad)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        out = random_crop_flip(x, rng, pad=pad)
+        allowed = set(np.round(x.ravel(), 5).tolist()) | {0.0}
+        assert set(np.round(out.ravel(), 5).tolist()) <= allowed
+
+
+class TestBatchIterator:
+    def test_covers_all_examples(self, tiny_dataset):
+        batches = tiny_dataset.batches("train", batch_size=20, shuffle=False)
+        total = sum(len(y) for _, y in batches)
+        assert total == 96
+
+    def test_batch_count(self, tiny_dataset):
+        batches = tiny_dataset.batches("train", batch_size=20)
+        assert len(batches) == 5  # ceil(96/20)
+
+    def test_shuffle_changes_order(self, tiny_dataset):
+        rng = np.random.default_rng(3)
+        it = tiny_dataset.batches("train", batch_size=96, shuffle=True, rng=rng)
+        (x1, y1), = list(it)
+        assert not np.array_equal(y1, tiny_dataset.train.labels)
+        assert sorted(y1.tolist()) == sorted(tiny_dataset.train.labels.tolist())
+
+    def test_no_shuffle_preserves_order(self, tiny_dataset):
+        it = tiny_dataset.batches("train", batch_size=96, shuffle=False)
+        (_, y), = list(it)
+        assert np.array_equal(y, tiny_dataset.train.labels)
+
+    def test_augment_changes_images(self, tiny_dataset):
+        rng = np.random.default_rng(5)
+        it = tiny_dataset.batches("train", batch_size=96, shuffle=False, augment=True,
+                                  rng=rng)
+        (x, _), = list(it)
+        assert not np.array_equal(x, tiny_dataset.train.images)
+
+    def test_reusable(self, tiny_dataset):
+        it = tiny_dataset.batches("train", batch_size=32, shuffle=False)
+        assert sum(1 for _ in it) == sum(1 for _ in it)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BatchIterator(np.zeros((2, 1)), np.zeros(3), 1, False, False, None)
+        with pytest.raises(ValueError):
+            BatchIterator(np.zeros((2, 1)), np.zeros(2), 0, False, False, None)

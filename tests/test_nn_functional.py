@@ -1,0 +1,359 @@
+"""Unit tests for the numerical kernels, including numerical-gradient checks.
+
+Gradient checks run in float64 (the kernels are dtype-generic) so central
+differences are accurate to ~1e-6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+from tests.conftest import numerical_gradient
+
+
+def rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Geometry helpers
+# ---------------------------------------------------------------------------
+
+
+class TestGeometry:
+    def test_conv_out_size_stride1_same(self):
+        assert F.conv_out_size(16, 3, 1, 1) == 16
+
+    def test_conv_out_size_stride2(self):
+        assert F.conv_out_size(16, 3, 2, 1) == 8
+
+    def test_conv_out_size_no_pad(self):
+        assert F.conv_out_size(16, 5, 1, 0) == 12
+
+    def test_pad_same_odd_kernels(self):
+        assert F.pad_same(1) == 0
+        assert F.pad_same(3) == 1
+        assert F.pad_same(5) == 2
+
+    @given(
+        size=st.integers(4, 32),
+        kernel=st.sampled_from([1, 3, 5]),
+        stride=st.integers(1, 3),
+    )
+    def test_out_size_positive(self, size, kernel, stride):
+        pad = F.pad_same(kernel)
+        assert F.conv_out_size(size, kernel, stride, pad) >= 1
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im
+# ---------------------------------------------------------------------------
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = rand((2, 3, 8, 8))
+        cols = F.im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_identity_kernel1(self):
+        x = rand((2, 4, 6, 6))
+        cols = F.im2col(x, 1, 1, 0)
+        assert np.allclose(cols.reshape(2, 4, 6, 6), x)
+
+    def test_known_window(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols = F.im2col(x, 2, 2, 0)  # (1, 4, 4)
+        # First window is the top-left 2x2 block.
+        assert cols[0, :, 0].tolist() == [0.0, 1.0, 4.0, 5.0]
+
+    def test_pad_value_used(self):
+        x = np.ones((1, 1, 2, 2))
+        cols = F.im2col(x, 3, 1, 1, pad_value=-np.inf)
+        assert np.isneginf(cols).any()
+
+    def test_col2im_adjoint(self):
+        """col2im is the exact adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        x = rand((2, 3, 6, 6), seed=1)
+        c = rand((2, 27, 36), seed=2)
+        lhs = float(np.sum(F.im2col(x, 3, 1, 1) * c))
+        rhs = float(np.sum(x * F.col2im(c, x.shape, 3, 1, 1)))
+        assert np.isclose(lhs, rhs, rtol=1e-10)
+
+    @given(
+        stride=st.integers(1, 2),
+        kernel=st.sampled_from([1, 3]),
+        size=st.integers(4, 9),
+    )
+    @settings(deadline=None, max_examples=20)
+    def test_col2im_adjoint_property(self, stride, kernel, size):
+        pad = F.pad_same(kernel)
+        x = rand((1, 2, size, size), seed=3)
+        cols = F.im2col(x, kernel, stride, pad)
+        c = rand(cols.shape, seed=4)
+        lhs = float(np.sum(cols * c))
+        rhs = float(np.sum(x * F.col2im(c, x.shape, kernel, stride, pad)))
+        assert np.isclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+
+class TestConv2d:
+    def test_shape_stride1(self):
+        x, w = rand((2, 3, 8, 8)), rand((5, 3, 3, 3))
+        out, _ = F.conv2d_forward(x, w, 1, 1)
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_shape_stride2(self):
+        x, w = rand((2, 3, 8, 8)), rand((5, 3, 3, 3))
+        out, _ = F.conv2d_forward(x, w, 2, 1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_1x1_is_channel_mix(self):
+        x = rand((1, 3, 4, 4))
+        w = rand((2, 3, 1, 1))
+        out, _ = F.conv2d_forward(x, w, 1, 0)
+        expected = np.einsum("nchw,kc->nkhw", x, w[:, :, 0, 0])
+        assert np.allclose(out, expected, rtol=1e-10)
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            F.conv2d_forward(rand((1, 3, 4, 4)), rand((2, 4, 3, 3)), 1, 1)
+
+    def test_grad_x(self):
+        x, w = rand((2, 2, 5, 5), seed=5), rand((3, 2, 3, 3), seed=6)
+        g = rand((2, 3, 5, 5), seed=7)
+
+        def loss():
+            out, _ = F.conv2d_forward(x, w, 1, 1)
+            return float(np.sum(out * g))
+
+        _, cache = F.conv2d_forward(x, w, 1, 1)
+        grad_x, _ = F.conv2d_backward(g, cache)
+        num = numerical_gradient(loss, x)
+        assert np.allclose(grad_x, num, rtol=1e-4, atol=1e-6)
+
+    def test_grad_w(self):
+        x, w = rand((2, 2, 5, 5), seed=8), rand((3, 2, 3, 3), seed=9)
+        g = rand((2, 3, 3, 3), seed=10)
+
+        def loss():
+            out, _ = F.conv2d_forward(x, w, 2, 1)
+            return float(np.sum(out * g))
+
+        _, cache = F.conv2d_forward(x, w, 2, 1)
+        _, grad_w = F.conv2d_backward(g, cache)
+        num = numerical_gradient(loss, w)
+        assert np.allclose(grad_w, num, rtol=1e-4, atol=1e-6)
+
+
+class TestDepthwiseConv2d:
+    def test_shape(self):
+        x, w = rand((2, 4, 8, 8)), rand((4, 3, 3))
+        out, _ = F.depthwise_conv2d_forward(x, w, 1, 1)
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_channels_independent(self):
+        """Zeroing one channel's filter must zero exactly that channel."""
+        x = rand((1, 3, 6, 6))
+        w = rand((3, 3, 3))
+        w[1] = 0.0
+        out, _ = F.depthwise_conv2d_forward(x, w, 1, 1)
+        assert np.allclose(out[:, 1], 0.0)
+        assert not np.allclose(out[:, 0], 0.0)
+
+    def test_matches_grouped_dense_conv(self):
+        """Depthwise == dense conv with a block-diagonal weight."""
+        x = rand((1, 2, 5, 5), seed=11)
+        w = rand((2, 3, 3), seed=12)
+        dw, _ = F.depthwise_conv2d_forward(x, w, 1, 1)
+        dense_w = np.zeros((2, 2, 3, 3))
+        dense_w[0, 0] = w[0]
+        dense_w[1, 1] = w[1]
+        dense, _ = F.conv2d_forward(x, dense_w, 1, 1)
+        assert np.allclose(dw, dense, rtol=1e-10)
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ValueError):
+            F.depthwise_conv2d_forward(rand((1, 3, 4, 4)), rand((2, 3, 3)), 1, 1)
+
+    def test_grad_x_and_w(self):
+        x, w = rand((1, 2, 5, 5), seed=13), rand((2, 3, 3), seed=14)
+        g = rand((1, 2, 5, 5), seed=15)
+
+        def loss_x():
+            out, _ = F.depthwise_conv2d_forward(x, w, 1, 1)
+            return float(np.sum(out * g))
+
+        _, cache = F.depthwise_conv2d_forward(x, w, 1, 1)
+        grad_x, grad_w = F.depthwise_conv2d_backward(g, cache)
+        assert np.allclose(grad_x, numerical_gradient(loss_x, x), rtol=1e-4, atol=1e-6)
+        assert np.allclose(grad_w, numerical_gradient(loss_x, w), rtol=1e-4, atol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+
+class TestPooling:
+    def test_maxpool_known_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out, _ = F.maxpool2d_forward(x, 2, 2, 0)
+        assert out.reshape(-1).tolist() == [5.0, 7.0, 13.0, 15.0]
+
+    def test_maxpool_padding_never_wins(self):
+        x = -np.ones((1, 1, 4, 4))
+        out, _ = F.maxpool2d_forward(x, 3, 1, 1)
+        assert np.all(out == -1.0)
+
+    def test_maxpool_grad(self):
+        x = rand((2, 2, 6, 6), seed=16)
+        g = rand((2, 2, 6, 6), seed=17)
+
+        def loss():
+            out, _ = F.maxpool2d_forward(x, 3, 1, 1)
+            return float(np.sum(out * g))
+
+        _, cache = F.maxpool2d_forward(x, 3, 1, 1)
+        grad_x = F.maxpool2d_backward(g, cache)
+        assert np.allclose(grad_x, numerical_gradient(loss, x), rtol=1e-4, atol=1e-6)
+
+    def test_avgpool_constant_input(self):
+        x = np.full((1, 2, 4, 4), 3.0)
+        out, _ = F.avgpool2d_forward(x, 2, 2, 0)
+        assert np.allclose(out, 3.0)
+
+    def test_avgpool_grad(self):
+        x = rand((2, 2, 6, 6), seed=18)
+        g = rand((2, 2, 3, 3), seed=19)
+
+        def loss():
+            out, _ = F.avgpool2d_forward(x, 2, 2, 0)
+            return float(np.sum(out * g))
+
+        _, cache = F.avgpool2d_forward(x, 2, 2, 0)
+        grad_x = F.avgpool2d_backward(g, cache)
+        assert np.allclose(grad_x, numerical_gradient(loss, x), rtol=1e-4, atol=1e-6)
+
+    def test_global_avgpool(self):
+        x = rand((3, 4, 5, 5), seed=20)
+        out, cache = F.global_avgpool_forward(x)
+        assert out.shape == (3, 4)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+        g = rand((3, 4), seed=21)
+        grad = F.global_avgpool_backward(g, cache)
+        assert np.allclose(grad.sum(axis=(2, 3)), g)
+
+
+# ---------------------------------------------------------------------------
+# Pointwise / dense / losses
+# ---------------------------------------------------------------------------
+
+
+class TestPointwise:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        out, mask = F.relu_forward(x)
+        assert out.tolist() == [0.0, 0.0, 2.0]
+        assert F.relu_backward(np.ones(3), mask).tolist() == [0.0, 0.0, 1.0]
+
+    def test_linear_grads(self):
+        x, w, b = rand((4, 3), seed=22), rand((2, 3), seed=23), rand((2,), seed=24)
+        g = rand((4, 2), seed=25)
+
+        def loss():
+            out, _ = F.linear_forward(x, w, b)
+            return float(np.sum(out * g))
+
+        _, cache = F.linear_forward(x, w, b)
+        gx, gw, gb = F.linear_backward(g, cache)
+        assert np.allclose(gx, numerical_gradient(loss, x), rtol=1e-5, atol=1e-7)
+        assert np.allclose(gw, numerical_gradient(loss, w), rtol=1e-5, atol=1e-7)
+        assert np.allclose(gb, numerical_gradient(loss, b), rtol=1e-5, atol=1e-7)
+
+    def test_batchnorm_normalises(self):
+        x = rand((8, 3, 4, 4), seed=26) * 5 + 2
+        gamma, beta = np.ones(3), np.zeros(3)
+        rm, rv = np.zeros(3), np.ones(3)
+        out, cache = F.batchnorm_forward(x, gamma, beta, rm, rv, 0.1, 1e-5, True)
+        assert cache is not None
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_batchnorm_running_stats_updated(self):
+        x = rand((8, 2, 4, 4), seed=27) + 10.0
+        rm, rv = np.zeros(2), np.ones(2)
+        F.batchnorm_forward(x, np.ones(2), np.zeros(2), rm, rv, 0.5, 1e-5, True)
+        assert np.all(rm > 1.0)  # moved toward the batch mean of ~10
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        x = rand((4, 2, 3, 3), seed=28)
+        rm, rv = np.zeros(2), np.ones(2)
+        out, cache = F.batchnorm_forward(
+            x, np.ones(2), np.zeros(2), rm, rv, 0.1, 1e-5, False
+        )
+        assert cache is None
+        assert np.allclose(out, x / np.sqrt(1 + 1e-5), rtol=1e-6)
+
+    def test_batchnorm_grad(self):
+        x = rand((4, 2, 3, 3), seed=29)
+        gamma, beta = rand((2,), seed=30), rand((2,), seed=31)
+        g = rand((4, 2, 3, 3), seed=32)
+
+        def loss():
+            rm, rv = np.zeros(2), np.ones(2)
+            out, _ = F.batchnorm_forward(x, gamma, beta, rm, rv, 0.1, 1e-5, True)
+            return float(np.sum(out * g))
+
+        rm, rv = np.zeros(2), np.ones(2)
+        _, cache = F.batchnorm_forward(x, gamma, beta, rm, rv, 0.1, 1e-5, True)
+        gx, ggamma, gbeta = F.batchnorm_backward(g, cache)
+        assert np.allclose(gx, numerical_gradient(loss, x), rtol=1e-3, atol=1e-5)
+        assert np.allclose(ggamma, numerical_gradient(loss, gamma), rtol=1e-4, atol=1e-6)
+        assert np.allclose(gbeta, numerical_gradient(loss, beta), rtol=1e-4, atol=1e-6)
+
+    @given(st.integers(1, 6))
+    @settings(deadline=None)
+    def test_softmax_sums_to_one(self, n):
+        x = np.random.default_rng(n).normal(size=(n, 5)) * 10
+        p = F.softmax(x, axis=1)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_softmax_shift_invariance(self):
+        x = rand((2, 5), seed=33)
+        assert np.allclose(F.softmax(x), F.softmax(x + 100.0), rtol=1e-9)
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 1, 2, 3])
+        loss, grad = F.softmax_cross_entropy(logits, labels)
+        assert np.isclose(loss, np.log(10.0), rtol=1e-6)
+        assert grad.shape == (4, 10)
+
+    def test_cross_entropy_grad(self):
+        logits = rand((3, 5), seed=34)
+        labels = np.array([1, 0, 4])
+
+        def loss():
+            l, _ = F.softmax_cross_entropy(logits, labels)
+            return l
+
+        _, grad = F.softmax_cross_entropy(logits, labels)
+        assert np.allclose(grad, numerical_gradient(loss, logits), rtol=1e-4, atol=1e-7)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss, _ = F.softmax_cross_entropy(logits, np.array([1, 2]))
+        assert loss < 1e-6

@@ -1,0 +1,181 @@
+"""Tests for the layer library: shapes, semantics, backward consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    FactorizedReduce,
+    GlobalAvgPool,
+    Identity,
+    Linear,
+    MaxPool2d,
+    PoolBN,
+    ReLU,
+    ReLUConvBN,
+    SeparableConv2d,
+    Sequential,
+)
+
+
+def x32(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+def directional_check(module, x, rtol=0.15):
+    """Finite-difference check of d(sum of output)/d(params) along the
+    analytic gradient direction (float32-tolerant)."""
+    out = module(x)
+    module.backward(np.ones_like(out))
+    params = [p for p in module.parameters() if np.any(p.grad != 0)]
+    assert params, "no parameter received gradient"
+    direction = [p.grad.astype(np.float64) for p in params]
+    norm = np.sqrt(sum(float(np.sum(d * d)) for d in direction))
+    eps = 1e-3 / max(norm, 1e-8)
+    originals = [p.data.copy() for p in params]
+    for p, d in zip(params, direction):
+        p.data = (p.data.astype(np.float64) + eps * d).astype(np.float32)
+    out_plus = module(x)
+    for p, d in zip(params, direction):
+        p.data = (p.data.astype(np.float64) - 2 * eps * d).astype(np.float32)
+    out_minus = module(x)
+    for p, o in zip(params, originals):
+        p.data = o
+    measured = float(out_plus.sum() - out_minus.sum()) / (2 * eps)
+    expected = norm**2
+    assert np.isclose(measured, expected, rtol=rtol), (measured, expected)
+
+
+class TestConvLayers:
+    def test_conv_shape_and_backward_shape(self):
+        conv = Conv2d(3, 8, 3, rng=np.random.default_rng(0))
+        x = x32((2, 3, 8, 8))
+        out = conv(x)
+        assert out.shape == (2, 8, 8, 8)
+        gx = conv.backward(np.ones_like(out))
+        assert gx.shape == x.shape
+        assert np.any(conv.weight.grad != 0)
+
+    def test_conv_stride2_halves(self):
+        conv = Conv2d(3, 4, 3, stride=2)
+        assert conv(x32((1, 3, 8, 8))).shape == (1, 4, 4, 4)
+
+    def test_conv_gradient_direction(self):
+        directional_check(Conv2d(2, 3, 3, rng=np.random.default_rng(1)), x32((2, 2, 6, 6)))
+
+    def test_depthwise_shape(self):
+        dw = DepthwiseConv2d(4, 3)
+        assert dw(x32((2, 4, 6, 6))).shape == (2, 4, 6, 6)
+
+    def test_depthwise_gradient_direction(self):
+        directional_check(DepthwiseConv2d(3, 3, rng=np.random.default_rng(2)), x32((2, 3, 6, 6)))
+
+    def test_separable_composition(self):
+        sep = SeparableConv2d(3, 6, 5, stride=2, rng=np.random.default_rng(3))
+        out = sep(x32((1, 3, 8, 8)))
+        assert out.shape == (1, 6, 4, 4)
+        gx = sep.backward(np.ones_like(out))
+        assert gx.shape == (1, 3, 8, 8)
+
+    def test_separable_param_count(self):
+        sep = SeparableConv2d(4, 8, 3)
+        # depthwise 4*9 + pointwise 8*4*1*1
+        assert sep.num_parameters() == 4 * 9 + 8 * 4
+
+
+class TestNormAndActivation:
+    def test_bn_train_normalises(self):
+        bn = BatchNorm2d(3)
+        x = x32((16, 3, 4, 4), seed=4) * 3 + 1
+        out = bn(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+
+    def test_bn_eval_differs_from_train(self):
+        bn = BatchNorm2d(3)
+        x = x32((16, 3, 4, 4), seed=5) * 2 + 3
+        out_train = bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        assert not np.allclose(out_train, out_eval)
+
+    def test_bn_params_no_weight_decay(self):
+        bn = BatchNorm2d(2)
+        assert all(not p.weight_decay for p in bn.parameters())
+
+    def test_relu_masks_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0]], dtype=np.float32)
+        relu(x)
+        g = relu.backward(np.ones((1, 2), dtype=np.float32))
+        assert g.tolist() == [[0.0, 1.0]]
+
+
+class TestPoolLayers:
+    def test_maxpool_default_same_size(self):
+        assert MaxPool2d(3)(x32((1, 2, 6, 6))).shape == (1, 2, 6, 6)
+
+    def test_avgpool_stride2(self):
+        assert AvgPool2d(3, stride=2)(x32((1, 2, 8, 8))).shape == (1, 2, 4, 4)
+
+    def test_pool_backward_shapes(self):
+        for pool in (MaxPool2d(3), AvgPool2d(3)):
+            x = x32((2, 3, 6, 6), seed=6)
+            out = pool(x)
+            assert pool.backward(np.ones_like(out)).shape == x.shape
+
+    def test_global_avgpool(self):
+        gap = GlobalAvgPool()
+        x = x32((2, 5, 4, 4), seed=7)
+        out = gap(x)
+        assert out.shape == (2, 5)
+        assert gap.backward(np.ones_like(out)).shape == x.shape
+
+
+class TestCompositeLayers:
+    def test_relu_conv_bn_order(self):
+        block = ReLUConvBN(3, 4, 3)
+        assert isinstance(block[0], ReLU)
+        assert isinstance(block[1], Conv2d)
+        assert isinstance(block[2], BatchNorm2d)
+
+    def test_relu_conv_bn_separable(self):
+        block = ReLUConvBN(3, 4, 3, separable=True)
+        assert isinstance(block[1], SeparableConv2d)
+
+    def test_poolbn_channel_change_adds_1x1(self):
+        same = PoolBN("max", 4, 4)
+        change = PoolBN("max", 4, 8)
+        assert len(same) == 2  # pool + bn
+        assert len(change) == 3  # pool + 1x1 conv + bn
+        assert change(x32((1, 4, 6, 6))).shape == (1, 8, 6, 6)
+
+    def test_poolbn_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            PoolBN("median", 4, 4)
+
+    def test_factorized_reduce_halves(self):
+        fr = FactorizedReduce(4, 8)
+        assert fr(x32((1, 4, 8, 8))).shape == (1, 8, 4, 4)
+
+    def test_identity_passthrough(self):
+        ident = Identity()
+        x = x32((2, 3, 4, 4), seed=8)
+        assert ident(x) is x
+        assert ident.backward(x) is x
+
+    def test_sequential_backward_reverses(self):
+        net = Sequential(Conv2d(2, 3, 3), ReLU(), Conv2d(3, 2, 3))
+        x = x32((1, 2, 5, 5), seed=9)
+        out = net(x)
+        gx = net.backward(np.ones_like(out))
+        assert gx.shape == x.shape
+
+    def test_sequential_indexing(self):
+        net = Sequential(ReLU(), ReLU())
+        assert len(net) == 2
+        assert isinstance(net[0], ReLU)

@@ -1,0 +1,122 @@
+"""Tests for the terminal plotting utilities and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.plotting import histogram, line_chart, scatter_chart
+
+
+class TestLineChart:
+    def test_renders_with_title_and_legend(self):
+        out = line_chart({"train": [0.1, 0.2, 0.4, 0.6]}, title="acc",
+                         x_label="epoch", y_label="accuracy")
+        assert "acc" in out
+        assert "o=train" in out
+        assert "epoch" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = line_chart({"a": [0.0, 1.0], "b": [1.0, 0.0]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = line_chart({"flat": [0.5] * 10})
+        assert "flat" in out
+
+    def test_axis_labels_show_range(self):
+        out = line_chart({"s": [2.0, 8.0]})
+        assert "8" in out and "2" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+    def test_fixed_width(self):
+        out = line_chart({"s": list(range(100))}, width=30, height=6)
+        body_lines = [l for l in out.splitlines() if "│" in l or "┤" in l]
+        assert all(len(l) <= 12 + 31 for l in body_lines)
+
+
+class TestScatterChart:
+    def test_basic_render(self):
+        rng = np.random.default_rng(0)
+        out = scatter_chart(rng.random(50), rng.random(50), title="cloud")
+        assert "cloud" in out
+
+    def test_highlight_marker(self):
+        out = scatter_chart([0.0, 1.0], [0.0, 1.0], highlight=[(0.0, 0.0)])
+        assert "●" in out
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_chart([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            scatter_chart([], [])
+
+    def test_single_point(self):
+        out = scatter_chart([1.0], [1.0])
+        assert "│" in out
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        out = histogram([1.0, 1.0, 2.0, 5.0], bins=4, title="h")
+        assert "h" in out
+        assert "█" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if isinstance(a, type(parser._subparsers._group_actions[0])))
+        commands = set(sub.choices)
+        assert commands == {"run", "fig4", "fig5", "fig6", "table2", "space"}
+
+    def test_space_command(self, capsys):
+        assert main(["space"]) == 0
+        out = capsys.readouterr().out
+        assert "hardware configurations" in out
+        assert "800" in out
+        assert "44 tokens" in out
+
+    def test_run_command_smoke(self, capsys):
+        assert main(["run", "--scale", "smoke", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "final co-design" in out
+        assert "composite reward" in out
+
+    def test_fig4_command_smoke(self, capsys):
+        assert main(["fig4", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "gaussian_process" in out
+
+    def test_fig5_command_smoke(self, capsys):
+        assert main(["fig5", "--scale", "smoke", "--models", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5(a)" in out and "Fig 5(b)" in out
+        assert "spearman" in out
+
+    def test_fig6_command_smoke(self, capsys):
+        assert main(["fig6", "--scale", "smoke", "--iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6(a)" in out
+        assert "Pareto" in out
+        assert "distance to front by phase" in out
+
+    def test_table2_command_smoke(self, capsys):
+        assert main(["table2", "--scale", "smoke", "--iterations", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Yoso_eer" in out and "Fig7" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,84 @@
+"""Tests for the regressor base class and standardiser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predict.base import Regressor, Standardizer
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_std(self):
+        x = np.random.default_rng(0).normal(5.0, 3.0, size=(100, 4))
+        xs = Standardizer().fit_transform(x)
+        assert np.allclose(xs.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(xs.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_passes_through(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        xs = Standardizer().fit_transform(x)
+        assert np.allclose(xs[:, 0], 0.0)  # centred, not divided by ~0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.ones((2, 2)))
+
+    def test_transform_uses_training_stats(self):
+        s = Standardizer().fit(np.zeros((5, 1)) + 10.0)
+        out = s.transform(np.array([[10.0]]))
+        assert np.allclose(out, 0.0)
+
+    @given(st.integers(2, 50))
+    @settings(deadline=None, max_examples=20)
+    def test_invertible(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, 3)) * rng.uniform(0.5, 4.0, size=3)
+        s = Standardizer().fit(x)
+        xs = s.transform(x)
+        back = xs * s.std + s.mean
+        assert np.allclose(back, x, rtol=1e-10)
+
+
+class _Mean(Regressor):
+    """Trivial regressor predicting the (standardised) training mean."""
+
+    name = "mean"
+
+    def _fit(self, x, y):
+        self._m = float(y.mean())
+
+    def _predict(self, x):
+        return np.full(len(x), self._m)
+
+
+class TestRegressorBase:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            _Mean().predict(np.ones((2, 2)))
+
+    def test_mean_model_recovers_target_mean(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3))
+        y = rng.normal(7.0, 2.0, size=50)
+        pred = _Mean().fit(x, y).predict(x)
+        assert np.allclose(pred, y.mean(), rtol=1e-10)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            _Mean().fit(np.ones((3, 2)), np.ones(4))
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            _Mean().fit(np.ones((1, 2)), np.ones(1))
+
+    def test_target_scaling_roundtrip(self):
+        """Targets scaled by 1e6 must come back in original units."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 2))
+        y = rng.normal(size=30) * 1e6
+        pred = _Mean().fit(x, y).predict(x)
+        assert abs(pred[0] - y.mean()) < 1e-3

@@ -1,0 +1,121 @@
+"""Cross-module property-based tests (hypothesis) on system invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import random_config
+from repro.accel.simulator import SystolicArraySimulator
+from repro.nas.encoding import CoDesignPoint, decode, random_sequence
+from repro.nas.space import DnnSpace
+from repro.predict.features import FEATURE_DIM, feature_vector
+from repro.search.reward import RewardSpec
+
+_SIM = SystolicArraySimulator()
+_SPACE = DnnSpace()
+
+
+def _point(seed: int) -> CoDesignPoint:
+    rng = np.random.default_rng(seed)
+    return CoDesignPoint(genotype=_SPACE.sample(rng), config=random_config(rng))
+
+
+class TestSimulatorInvariants:
+    @given(seed=st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=15)
+    def test_positive_finite_outputs(self, seed):
+        point = _point(seed)
+        report = _SIM.simulate_genotype(point.genotype, point.config,
+                                        num_cells=3, stem_channels=4, image_size=8)
+        assert np.isfinite(report.latency_ms) and report.latency_ms > 0
+        assert np.isfinite(report.energy_mj) and report.energy_mj > 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=10)
+    def test_energy_at_least_mac_floor(self, seed):
+        """Total energy can never drop below the bare MAC energy."""
+        point = _point(seed)
+        report = _SIM.simulate_genotype(point.genotype, point.config,
+                                        num_cells=3, stem_channels=4, image_size=8)
+        mac_floor_mj = report.total_macs * _SIM.energy_model.mac_pj * 1e-9
+        assert report.energy_mj >= mac_floor_mj
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=10)
+    def test_latency_at_least_ideal_compute(self, seed):
+        """Latency can never beat MACs / peak-throughput."""
+        point = _point(seed)
+        report = _SIM.simulate_genotype(point.genotype, point.config,
+                                        num_cells=3, stem_channels=4, image_size=8)
+        ideal_cycles = report.total_macs / point.config.num_pes
+        assert report.latency_ms >= _SIM.energy_model.cycles_to_ms(ideal_cycles)
+
+
+class TestFeatureInvariants:
+    @given(seed=st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=20)
+    def test_finite_fixed_length(self, seed):
+        vec = feature_vector(_point(seed), num_cells=3, stem_channels=4,
+                             image_size=8)
+        assert vec.shape == (FEATURE_DIM,)
+        assert np.isfinite(vec).all()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=10)
+    def test_encoding_feature_consistency(self, seed):
+        """decode(encode(p)) must map to the identical feature vector."""
+        from repro.nas.encoding import encode
+
+        point = _point(seed)
+        roundtrip = decode(encode(point))
+        a = feature_vector(point, num_cells=3, stem_channels=4, image_size=8)
+        b = feature_vector(roundtrip, num_cells=3, stem_channels=4, image_size=8)
+        assert np.array_equal(a, b)
+
+
+def _specs():
+    return st.builds(
+        RewardSpec,
+        alpha1=st.floats(0.1, 1.0),
+        omega1=st.floats(-1.0, -0.05),
+        alpha2=st.floats(0.1, 1.0),
+        omega2=st.floats(-1.0, -0.05),
+        t_lat_ms=st.floats(0.5, 2.0),
+        t_eer_mj=st.floats(4.0, 16.0),
+    )
+
+
+class TestRewardInvariants:
+    @given(spec=_specs(), acc=st.floats(0.01, 1.0))
+    @settings(deadline=None, max_examples=40)
+    def test_monotone_in_each_metric(self, spec, acc):
+        base = spec.reward(acc, 1.0, 8.0)
+        assert spec.reward(acc, 0.5, 8.0) > base  # faster is better
+        assert spec.reward(acc, 1.0, 4.0) > base  # greener is better
+        if acc < 1.0:
+            assert spec.reward(min(1.0, acc + 0.1), 1.0, 8.0) > base
+
+    @given(spec=_specs())
+    @settings(deadline=None, max_examples=20)
+    def test_positive_for_positive_accuracy(self, spec):
+        assert spec.reward(0.5, 1.0, 5.0) > 0
+
+    @given(spec=_specs())
+    @settings(deadline=None, max_examples=20)
+    def test_zero_accuracy_zero_reward(self, spec):
+        assert spec.reward(0.0, 1.0, 5.0) == 0.0
+
+
+class TestSequenceInvariants:
+    @given(seed=st.integers(0, 100_000))
+    @settings(deadline=None, max_examples=30)
+    def test_random_sequences_simulate(self, seed):
+        """Every decodable sequence must be a simulatable machine."""
+        rng = np.random.default_rng(seed)
+        point = decode(random_sequence(rng))
+        report = _SIM.simulate_genotype(point.genotype, point.config,
+                                        num_cells=3, stem_channels=4, image_size=8)
+        assert report.energy_mj > 0

@@ -1,0 +1,57 @@
+"""Tests for the experiment scale presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scale import DEMO, PAPER, SMOKE, ExperimentScale, get_scale
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_scale("paper") is PAPER
+        assert get_scale("demo") is DEMO
+        assert get_scale("smoke") is SMOKE
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_paper_matches_published_parameters(self):
+        # Sec. IV: CIFAR-10 50000/10000, 300-epoch HyperNet with batch 144,
+        # 6 cells, 3600 predictor samples (3000 train), top-10 rescoring,
+        # 130 correlation models at 70 epochs.
+        assert PAPER.train_size == 50_000
+        assert PAPER.test_size == 10_000
+        assert PAPER.image_size == 32
+        assert PAPER.hypernet_cells == 6
+        assert PAPER.hypernet_epochs == 300
+        assert PAPER.hypernet_batch == 144
+        assert PAPER.predictor_samples == 3600
+        assert PAPER.predictor_train == 3000
+        assert PAPER.topn == 10
+        assert PAPER.correlation_models == 130
+        assert PAPER.standalone_epochs == 70
+
+    def test_ordering_paper_largest(self):
+        for field in ("train_size", "hypernet_epochs", "search_iterations",
+                      "predictor_samples"):
+            assert getattr(PAPER, field) >= getattr(DEMO, field) >= getattr(SMOKE, field)
+
+    def test_predictor_split_valid(self):
+        for scale in (PAPER, DEMO, SMOKE):
+            assert scale.predictor_train < scale.predictor_samples
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", image_size=8, train_size=10, val_size=5, test_size=5,
+                hypernet_cells=3, hypernet_channels=4, hypernet_epochs=1,
+                hypernet_batch=8, search_iterations=5, topn=1,
+                predictor_samples=10, predictor_train=10,
+                correlation_models=2, standalone_epochs=1,
+            )
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEMO.image_size = 64  # type: ignore[misc]

@@ -1,0 +1,95 @@
+"""Tests for the Bayesian-optimisation baseline search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nas.encoding import CoDesignPoint
+from repro.search.bayesopt import BayesianOptSearch, expected_improvement
+from repro.search.evaluator import Evaluation
+from repro.search.reward import RewardSpec
+
+SPEC = RewardSpec(0.5, -0.4, 0.5, -0.4, t_lat_ms=1.0, t_eer_mj=1.0)
+FEATURE_KW = dict(num_cells=3, stem_channels=4, image_size=8)
+
+
+def smooth_evaluator(point: CoDesignPoint) -> Evaluation:
+    """Deterministic evaluator with learnable structure: bigger PE arrays
+    and the WS dataflow score higher."""
+    acc = 0.3 + 0.4 * (point.config.num_pes / 512.0)
+    if point.config.dataflow == "WS":
+        acc += 0.2
+    return Evaluation(accuracy=min(acc, 1.0), latency_ms=1.0, energy_mj=1.0)
+
+
+class TestExpectedImprovement:
+    def test_zero_std_zero_improvement_below_best(self):
+        ei = expected_improvement(np.array([0.0]), np.array([0.0]), best=1.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_higher_mean_higher_ei(self):
+        means = np.array([0.0, 0.5, 1.0])
+        stds = np.full(3, 0.1)
+        ei = expected_improvement(means, stds, best=0.4)
+        assert ei[2] > ei[1] > ei[0]
+
+    def test_uncertainty_adds_value(self):
+        means = np.array([0.0, 0.0])
+        stds = np.array([0.01, 1.0])
+        ei = expected_improvement(means, stds, best=0.5)
+        assert ei[1] > ei[0]
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        ei = expected_improvement(rng.normal(size=50), np.abs(rng.normal(size=50)),
+                                  best=0.0)
+        assert np.all(ei >= -1e-12)
+
+
+class TestBayesianOptSearch:
+    def test_run_length(self):
+        search = BayesianOptSearch(smooth_evaluator, SPEC, n_initial=4,
+                                   pool_size=16, seed=0, feature_kwargs=FEATURE_KW)
+        history = search.run(12)
+        assert len(history) == 12
+
+    def test_initial_phase_is_random(self):
+        search = BayesianOptSearch(smooth_evaluator, SPEC, n_initial=6,
+                                   pool_size=8, seed=1, feature_kwargs=FEATURE_KW)
+        for _ in range(5):
+            search.step()
+        assert search._gp is None  # surrogate not built yet
+
+    def test_surrogate_built_after_initial(self):
+        search = BayesianOptSearch(smooth_evaluator, SPEC, n_initial=4,
+                                   pool_size=8, refit_every=1, seed=2,
+                                   feature_kwargs=FEATURE_KW)
+        search.run(8)
+        assert search._gp is not None
+
+    def test_improves_over_time_on_smooth_landscape(self):
+        search = BayesianOptSearch(smooth_evaluator, SPEC, n_initial=8,
+                                   pool_size=48, refit_every=2, seed=3,
+                                   feature_kwargs=FEATURE_KW)
+        history = search.run(40)
+        rewards = history.rewards()
+        # Exploitation phase must beat the random warm-up on average.
+        assert rewards[20:].mean() > rewards[:8].mean()
+
+    def test_deterministic_given_seed(self):
+        runs = []
+        for _ in range(2):
+            search = BayesianOptSearch(smooth_evaluator, SPEC, n_initial=3,
+                                       pool_size=8, seed=9,
+                                       feature_kwargs=FEATURE_KW)
+            runs.append([s.tokens for s in search.run(6).samples])
+        assert runs[0] == runs[1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BayesianOptSearch(smooth_evaluator, SPEC, n_initial=1)
+        search = BayesianOptSearch(smooth_evaluator, SPEC, seed=0,
+                                   feature_kwargs=FEATURE_KW)
+        with pytest.raises(ValueError):
+            search.run(0)

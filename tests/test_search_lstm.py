@@ -1,0 +1,142 @@
+"""Numerical-gradient tests for the LSTM cell (BPTT correctness)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.lstm import LSTMCell, LSTMState
+
+
+def make_cell(input_dim=5, hidden_dim=7, seed=0):
+    cell = LSTMCell(input_dim, hidden_dim, np.random.default_rng(seed))
+    # Float64 weights for precise finite differences.
+    for p in (cell.wx, cell.wh, cell.bias):
+        p.data = p.data.astype(np.float64)
+        p.grad = p.grad.astype(np.float64)
+    return cell
+
+
+class TestForward:
+    def test_shapes(self):
+        cell = make_cell()
+        state, cache = cell.step(np.zeros(5), LSTMState.zeros(7))
+        assert state.h.shape == (7,)
+        assert state.c.shape == (7,)
+        assert len(cache) == 8
+
+    def test_zero_state_factory(self):
+        s = LSTMState.zeros(4)
+        assert np.all(s.h == 0) and np.all(s.c == 0)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = make_cell(hidden_dim=4)
+        assert np.all(cell.bias.data[4:8] == 1.0)
+
+    def test_deterministic(self):
+        a, b = make_cell(seed=3), make_cell(seed=3)
+        x = np.random.default_rng(1).normal(size=5)
+        sa, _ = a.step(x, LSTMState.zeros(7))
+        sb, _ = b.step(x, LSTMState.zeros(7))
+        assert np.array_equal(sa.h, sb.h)
+
+    def test_state_evolves(self):
+        cell = make_cell()
+        x = np.ones(5)
+        s1, _ = cell.step(x, LSTMState.zeros(7))
+        s2, _ = cell.step(x, s1)
+        assert not np.allclose(s1.h, s2.h)
+
+
+class TestBackward:
+    def _loss_through_steps(self, cell, xs, weights_h):
+        """Scalar loss: weighted sum of hidden states over a short unroll."""
+        state = LSTMState.zeros(cell.hidden_dim)
+        total = 0.0
+        caches = []
+        for x, w in zip(xs, weights_h):
+            state, cache = cell.step(x, state)
+            caches.append(cache)
+            total += float(np.sum(state.h * w))
+        return total, caches
+
+    def test_gradients_match_numerical(self):
+        cell = make_cell(input_dim=3, hidden_dim=4, seed=7)
+        rng = np.random.default_rng(8)
+        xs = [rng.normal(size=3) for _ in range(3)]
+        ws = [rng.normal(size=4) for _ in range(3)]
+
+        # Analytic: BPTT through the 3 steps.
+        _, caches = self._loss_through_steps(cell, xs, ws)
+        dh_next = np.zeros(4)
+        dc_next = np.zeros(4)
+        for t in range(2, -1, -1):
+            dh = ws[t] + dh_next
+            _, dh_next, dc_next = cell.backward_step(dh, dc_next, caches[t])
+
+        for param in (cell.wx, cell.wh, cell.bias):
+            analytic = param.grad.copy()
+            numeric = np.zeros_like(param.data)
+            eps = 1e-6
+            it = np.nditer(param.data, flags=["multi_index"])
+            while not it.finished:
+                idx = it.multi_index
+                old = param.data[idx]
+                param.data[idx] = old + eps
+                lp, _ = self._loss_through_steps(cell, xs, ws)
+                param.data[idx] = old - eps
+                lm, _ = self._loss_through_steps(cell, xs, ws)
+                param.data[idx] = old
+                numeric[idx] = (lp - lm) / (2 * eps)
+                it.iternext()
+            assert np.allclose(analytic, numeric, rtol=1e-4, atol=1e-7), param
+
+    def test_input_gradient_matches_numerical(self):
+        cell = make_cell(input_dim=3, hidden_dim=4, seed=9)
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=3)
+        w = rng.normal(size=4)
+
+        def loss():
+            state, _ = cell.step(x, LSTMState.zeros(4))
+            return float(np.sum(state.h * w))
+
+        _, cache = cell.step(x, LSTMState.zeros(4))
+        dx, _, _ = cell.backward_step(w, np.zeros(4), cache)
+        eps = 1e-6
+        numeric = np.zeros(3)
+        for i in range(3):
+            old = x[i]
+            x[i] = old + eps
+            lp = loss()
+            x[i] = old - eps
+            lm = loss()
+            x[i] = old
+            numeric[i] = (lp - lm) / (2 * eps)
+        assert np.allclose(dx, numeric, rtol=1e-4, atol=1e-8)
+
+    def test_previous_state_gradients(self):
+        cell = make_cell(input_dim=2, hidden_dim=3, seed=11)
+        rng = np.random.default_rng(12)
+        h0 = rng.normal(size=3)
+        c0 = rng.normal(size=3)
+        x = rng.normal(size=2)
+        w = rng.normal(size=3)
+
+        def loss():
+            state, _ = cell.step(x, LSTMState(h0, c0))
+            return float(np.sum(state.h * w))
+
+        _, cache = cell.step(x, LSTMState(h0, c0))
+        _, dh0, dc0 = cell.backward_step(w, np.zeros(3), cache)
+        eps = 1e-6
+        for vec, grad in ((h0, dh0), (c0, dc0)):
+            numeric = np.zeros(3)
+            for i in range(3):
+                old = vec[i]
+                vec[i] = old + eps
+                lp = loss()
+                vec[i] = old - eps
+                lm = loss()
+                vec[i] = old
+                numeric[i] = (lp - lm) / (2 * eps)
+            assert np.allclose(grad, numeric, rtol=1e-4, atol=1e-8)

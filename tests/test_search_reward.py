@@ -1,0 +1,105 @@
+"""Tests for the Eq. 2 multi-objective reward."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.reward import (
+    BALANCED,
+    ENERGY_FOCUS,
+    LATENCY_FOCUS,
+    PAPER_T_EER_MJ,
+    PAPER_T_LAT_MS,
+    RewardSpec,
+)
+
+
+class TestRewardMath:
+    def test_at_thresholds_reward_is_weighted_accuracy(self):
+        # (x/t)^omega == 1 at the threshold, so R = (a1 + a2) * A.
+        spec = RewardSpec(0.5, -0.4, 0.5, -0.4, t_lat_ms=1.2, t_eer_mj=9.0)
+        r = spec.reward(0.9, 1.2, 9.0)
+        assert r == pytest.approx(0.9)
+
+    def test_hand_computed_value(self):
+        spec = RewardSpec(0.6, -0.4, 0.3, -0.2, t_lat_ms=1.0, t_eer_mj=1.0)
+        # energy 2.0 -> 2^-0.4; latency 0.5 -> 0.5^-0.2
+        expected = 0.6 * 0.8 * 2.0**-0.4 + 0.3 * 0.8 * 0.5**-0.2
+        assert spec.reward(0.8, 0.5, 2.0) == pytest.approx(expected)
+
+    def test_lower_energy_higher_reward(self):
+        spec = BALANCED
+        better = spec.reward(0.9, 1.0, 5.0)
+        worse = spec.reward(0.9, 1.0, 8.0)
+        assert better > worse
+
+    def test_lower_latency_higher_reward(self):
+        spec = BALANCED
+        assert spec.reward(0.9, 0.5, 5.0) > spec.reward(0.9, 1.0, 5.0)
+
+    def test_higher_accuracy_higher_reward(self):
+        spec = BALANCED
+        assert spec.reward(0.95, 1.0, 5.0) > spec.reward(0.5, 1.0, 5.0)
+
+    def test_exceeding_threshold_penalised(self):
+        spec = BALANCED
+        at = spec.reward(0.9, PAPER_T_LAT_MS, PAPER_T_EER_MJ)
+        over = spec.reward(0.9, 2 * PAPER_T_LAT_MS, 2 * PAPER_T_EER_MJ)
+        assert over < at
+
+    def test_rejects_non_positive_metrics(self):
+        with pytest.raises(ValueError):
+            BALANCED.reward(0.5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            BALANCED.reward(0.5, 1.0, -1.0)
+
+    def test_rejects_non_positive_thresholds(self):
+        with pytest.raises(ValueError):
+            RewardSpec(0.5, -0.4, 0.5, -0.4, t_lat_ms=0.0)
+
+
+class TestPresets:
+    def test_paper_coefficients(self):
+        assert (BALANCED.alpha1, BALANCED.omega1) == (0.5, -0.4)
+        assert (BALANCED.alpha2, BALANCED.omega2) == (0.5, -0.4)
+        assert (ENERGY_FOCUS.alpha1, ENERGY_FOCUS.omega1) == (0.6, -0.4)
+        assert (ENERGY_FOCUS.alpha2, ENERGY_FOCUS.omega2) == (0.3, -0.2)
+        assert (LATENCY_FOCUS.alpha1, LATENCY_FOCUS.omega1) == (0.3, -0.3)
+        assert (LATENCY_FOCUS.alpha2, LATENCY_FOCUS.omega2) == (0.6, -0.4)
+
+    def test_paper_thresholds(self):
+        assert PAPER_T_LAT_MS == 1.2
+        assert PAPER_T_EER_MJ == 9.0
+        assert BALANCED.t_lat_ms == 1.2
+        assert BALANCED.t_eer_mj == 9.0
+
+    def test_energy_focus_prefers_energy_savings(self):
+        """Halving energy must help ENERGY_FOCUS more than LATENCY_FOCUS."""
+        base = (0.9, 1.0, 8.0)
+        saved = (0.9, 1.0, 4.0)
+        gain_e = ENERGY_FOCUS.reward(*saved) / ENERGY_FOCUS.reward(*base)
+        gain_l = LATENCY_FOCUS.reward(*saved) / LATENCY_FOCUS.reward(*base)
+        assert gain_e > gain_l
+
+    def test_latency_focus_prefers_latency_savings(self):
+        base = (0.9, 1.0, 8.0)
+        saved = (0.9, 0.5, 8.0)
+        gain_e = ENERGY_FOCUS.reward(*saved) / ENERGY_FOCUS.reward(*base)
+        gain_l = LATENCY_FOCUS.reward(*saved) / LATENCY_FOCUS.reward(*base)
+        assert gain_l > gain_e
+
+
+class TestThresholdsAndScaling:
+    def test_meets_thresholds(self):
+        assert BALANCED.meets_thresholds(1.0, 8.0)
+        assert not BALANCED.meets_thresholds(1.5, 8.0)
+        assert not BALANCED.meets_thresholds(1.0, 10.0)
+        assert BALANCED.meets_thresholds(1.2, 9.0)  # boundary inclusive
+
+    def test_scaled_keeps_coefficients(self):
+        scaled = ENERGY_FOCUS.scaled(0.1, 0.2)
+        assert scaled.alpha1 == ENERGY_FOCUS.alpha1
+        assert scaled.omega2 == ENERGY_FOCUS.omega2
+        assert scaled.t_lat_ms == 0.1
+        assert scaled.t_eer_mj == 0.2
+        assert scaled.name == ENERGY_FOCUS.name

@@ -1,0 +1,195 @@
+"""Tests for the two-stage baseline flow and the published-cell baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.config import AcceleratorConfig, enumerate_configs
+from repro.accel.simulator import SystolicArraySimulator
+from repro.baselines.genotypes import TWO_STAGE_BASELINES, baseline_by_name
+from repro.search.reward import RewardSpec
+from repro.search.two_stage import best_config_for, run_two_stage
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SystolicArraySimulator()
+
+
+SMALL = dict(num_cells=3, stem_channels=4, image_size=8)
+SUBSET = list(enumerate_configs())[::37]  # 22 configs for speed
+
+
+class TestBaselines:
+    def test_six_baselines(self):
+        assert len(TWO_STAGE_BASELINES) == 6
+
+    def test_names_match_table2(self):
+        names = {m.name for m in TWO_STAGE_BASELINES}
+        assert names == {
+            "NasNet-A", "Darts_v1", "Darts_v2", "AmoebaNet-A", "EnasNet", "PnasNet",
+        }
+
+    def test_all_genotypes_valid_and_distinct(self):
+        jsons = {m.genotype.to_json() for m in TWO_STAGE_BASELINES}
+        assert len(jsons) == 6
+        for m in TWO_STAGE_BASELINES:
+            assert m.genotype.normal.loose_ends()
+            assert m.genotype.reduce.loose_ends()
+
+    def test_paper_metadata_present(self):
+        nasnet = baseline_by_name("NasNet-A")
+        assert nasnet.search_gpu_days == 1800
+        assert nasnet.paper_test_error == 3.41
+        assert nasnet.paper_energy_mj == 15.24
+
+    def test_lookup_case_insensitive(self):
+        assert baseline_by_name("darts_v1").name == "Darts_v1"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            baseline_by_name("ResNet50")
+
+    def test_baselines_buildable_as_networks(self, rng):
+        from repro.nas.network import CellNetwork
+
+        x = rng.normal(size=(1, 3, 8, 8)).astype(np.float32)
+        for m in TWO_STAGE_BASELINES:
+            net = CellNetwork(m.genotype, num_cells=3, stem_channels=4, rng=rng)
+            assert net(x).shape == (1, 10)
+
+
+class TestBestConfigFor:
+    def test_energy_objective_minimises_energy(self, sim, genotype):
+        cfg, energy, _ = best_config_for(
+            genotype, sim, objective="energy", configs=SUBSET, **SMALL
+        )
+        for other in SUBSET:
+            report = sim.simulate_genotype(genotype, other, **SMALL)
+            assert energy <= report.energy_mj + 1e-12
+
+    def test_latency_objective_minimises_latency(self, sim, genotype):
+        cfg, _, latency = best_config_for(
+            genotype, sim, objective="latency", configs=SUBSET, **SMALL
+        )
+        for other in SUBSET:
+            report = sim.simulate_genotype(genotype, other, **SMALL)
+            assert latency <= report.latency_ms + 1e-12
+
+    def test_objectives_can_disagree(self, sim, genotype):
+        cfg_e, _, _ = best_config_for(genotype, sim, objective="energy",
+                                      configs=SUBSET, **SMALL)
+        cfg_l, _, _ = best_config_for(genotype, sim, objective="latency",
+                                      configs=SUBSET, **SMALL)
+        # Not a strict requirement for every genotype, but with this subset
+        # the energy and latency winners differ (see simulator tradeoff test).
+        assert cfg_e != cfg_l
+
+    def test_reward_objective_requires_spec(self, sim, genotype):
+        with pytest.raises(ValueError):
+            best_config_for(genotype, sim, objective="reward", configs=SUBSET, **SMALL)
+
+    def test_reward_objective_maximises_composite(self, sim, genotype):
+        spec = RewardSpec(0.5, -0.4, 0.5, -0.4, t_lat_ms=0.05, t_eer_mj=0.02)
+        cfg, energy, latency = best_config_for(
+            genotype, sim, objective="reward", reward_spec=spec,
+            configs=SUBSET, **SMALL
+        )
+        best = spec.reward(1.0, latency, energy)
+        for other in SUBSET:
+            report = sim.simulate_genotype(genotype, other, **SMALL)
+            assert best >= spec.reward(1.0, report.latency_ms, report.energy_mj) - 1e-12
+
+    def test_threshold_screening_prefers_passing_configs(self, sim, genotype):
+        # Thresholds generous enough that some configs pass.
+        reports = [sim.simulate_genotype(genotype, c, **SMALL) for c in SUBSET]
+        lat_med = float(np.median([r.latency_ms for r in reports]))
+        eer_med = float(np.median([r.energy_mj for r in reports]))
+        spec = RewardSpec(0.5, -0.4, 0.5, -0.4, t_lat_ms=lat_med, t_eer_mj=eer_med)
+        _, energy, latency = best_config_for(
+            genotype, sim, objective="energy", reward_spec=spec,
+            configs=SUBSET, **SMALL
+        )
+        assert latency <= lat_med and energy <= eer_med
+
+    def test_unknown_objective_rejected(self, sim, genotype):
+        with pytest.raises(ValueError):
+            best_config_for(genotype, sim, objective="area", configs=SUBSET, **SMALL)
+
+    def test_empty_configs_rejected(self, sim, genotype):
+        with pytest.raises(ValueError):
+            best_config_for(genotype, sim, objective="energy", configs=[], **SMALL)
+
+
+class TestTwoStageNas:
+    def test_executes_both_stages(self, sim):
+        from repro.search.two_stage import two_stage_nas
+
+        calls = []
+
+        def accuracy_of(genotype):
+            calls.append(genotype.name)
+            return 0.1 + 0.8 * (hash(genotype.to_json()) % 100) / 100.0
+
+        row = two_stage_nas(accuracy_of, sim, objective="energy",
+                            nas_samples=12, seed=0, configs=SUBSET, **SMALL)
+        assert len(calls) == 12
+        assert row.model == "TwoStage_energy"
+        assert row.genotype is not None
+        assert row.energy_mj > 0 and row.latency_ms > 0
+
+    def test_stage1_picks_highest_accuracy(self, sim):
+        from repro.search.two_stage import two_stage_nas
+
+        accuracies = {}
+
+        def accuracy_of(genotype):
+            value = (hash(genotype.to_json()) % 97) / 97.0
+            accuracies[genotype.to_json()] = value
+            return value
+
+        row = two_stage_nas(accuracy_of, sim, objective="latency",
+                            nas_samples=10, seed=1, configs=SUBSET, **SMALL)
+        assert row.genotype is not None
+        assert accuracies[row.genotype.to_json()] == max(accuracies.values())
+        assert row.accuracy == max(accuracies.values())
+
+    def test_deterministic(self, sim):
+        from repro.search.two_stage import two_stage_nas
+
+        rows = [
+            two_stage_nas(lambda g: 0.5, sim, objective="energy",
+                          nas_samples=5, seed=3, configs=SUBSET, **SMALL)
+            for _ in range(2)
+        ]
+        assert rows[0].genotype.to_json() == rows[1].genotype.to_json()
+        assert rows[0].config == rows[1].config
+
+    def test_invalid_samples(self, sim):
+        from repro.search.two_stage import two_stage_nas
+
+        with pytest.raises(ValueError):
+            two_stage_nas(lambda g: 0.5, sim, objective="energy",
+                          nas_samples=0, configs=SUBSET, **SMALL)
+
+
+class TestRunTwoStage:
+    def test_produces_one_row_per_baseline(self, sim):
+        rows = run_two_stage(sim, lambda g: 0.8, objective="energy", configs=SUBSET, **SMALL)
+        assert len(rows) == 6
+        assert {r.model for r in rows} == {m.name for m in TWO_STAGE_BASELINES}
+
+    def test_rows_carry_accuracy_and_metadata(self, sim):
+        rows = run_two_stage(sim, lambda g: 0.75, objective="latency", configs=SUBSET, **SMALL)
+        for row in rows:
+            assert row.accuracy == 0.75
+            assert row.test_error == pytest.approx(25.0)
+            assert row.search_gpu_days > 0
+            assert row.energy_mj > 0 and row.latency_ms > 0
+
+    def test_accuracy_callback_sees_each_genotype(self, sim):
+        seen = []
+        run_two_stage(sim, lambda g: seen.append(g.name) or 0.5,
+                      objective="energy", configs=SUBSET, **SMALL)
+        assert sorted(seen) == sorted(m.name for m in TWO_STAGE_BASELINES)
