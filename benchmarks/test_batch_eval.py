@@ -1,0 +1,145 @@
+"""Micro-benchmark: batched evaluation engine vs the per-point loop.
+
+Times the same work through the scalar path (one Python-level call per
+point) and the batched path (one array-math call per batch) and asserts
+the throughput ratios the batch engine exists to deliver:
+
+* ``simulate_many`` on a batch of 256 (network, configuration) points and
+  on an 800-configuration hardware sweep — >= 3x over the scalar loop;
+* ``BatchEvaluator`` scoring 256 candidates that re-pair a handful of
+  architectures with fresh hardware tokens (the RL search's steady-state
+  access pattern) — the accuracy term is served from the genotype cache in
+  both paths, so the ratio isolates the batched GP + feature path.
+
+Absolute times vary by machine; the *ratios* are what the assertions pin.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.accel.config import enumerate_configs, random_config
+from repro.accel.simulator import SystolicArraySimulator
+from repro.accel.workload import network_workloads
+from repro.nas.encoding import CoDesignPoint
+from repro.nas.space import DnnSpace
+from repro.search.evaluator import BatchEvaluator
+
+BATCH = 256
+
+
+def _timed(fn):
+    """Best-of-3 wall-clock of fn() -> (seconds, last result)."""
+    best, result = float("inf"), None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    space = DnnSpace()
+    return [
+        CoDesignPoint(genotype=space.sample(rng), config=random_config(rng))
+        for _ in range(BATCH)
+    ]
+
+
+def test_bench_simulate_many_batch256(points):
+    """Batch-256 co-design simulation vs the per-point scalar loop."""
+    sim = SystolicArraySimulator()
+    kwargs = dict(num_cells=6, stem_channels=16, image_size=32)
+    pairs = [(p.genotype, p.config) for p in points]
+
+    t_loop, reports = _timed(
+        lambda: [sim.simulate_genotype(g, c, **kwargs) for g, c in pairs]
+    )
+    t_batch, batch = _timed(lambda: sim.simulate_genotypes(pairs, **kwargs))
+
+    np.testing.assert_allclose(
+        batch.energy_mj, [r.energy_mj for r in reports], rtol=1e-9
+    )
+    speedup = t_loop / t_batch
+    print(
+        f"\nsimulate batch-{BATCH}: loop {t_loop * 1e3:.0f} ms, "
+        f"batch {t_batch * 1e3:.0f} ms -> {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
+
+
+def test_bench_simulate_many_hw_sweep(points):
+    """Full 800-configuration sweep of one network (two-stage Stage 2)."""
+    sim = SystolicArraySimulator()
+    layers = network_workloads(
+        points[0].genotype, num_cells=6, stem_channels=16, image_size=32
+    )
+    configs = list(enumerate_configs())
+
+    t_loop, reports = _timed(
+        lambda: [sim.simulate_network(layers, c) for c in configs]
+    )
+    t_batch, batch = _timed(lambda: sim.simulate_many(layers, configs))
+
+    np.testing.assert_allclose(
+        batch.latency_ms, [r.latency_ms for r in reports], rtol=1e-9
+    )
+    speedup = t_loop / t_batch
+    print(
+        f"\nhw sweep ({len(configs)} configs): loop {t_loop * 1e3:.0f} ms, "
+        f"batch {t_batch * 1e3:.0f} ms -> {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
+
+
+def test_bench_batch_evaluator(demo_context):
+    """Batch-256 candidate scoring vs per-point FastEvaluator calls.
+
+    256 candidates = 8 architectures x 32 hardware variants, accuracy
+    pre-warmed on both paths (it is genotype-cached and identical by
+    construction), so the measured gap is scalar-GP-per-point vs one
+    batched GP prediction per metric plus the cached feature prefix.
+    """
+    fast = demo_context.fast_evaluator
+    rng = np.random.default_rng(1)
+    space = DnnSpace()
+    genotypes = [space.sample(rng) for _ in range(8)]
+    candidates = [
+        CoDesignPoint(genotype=genotypes[i % 8], config=random_config(rng))
+        for i in range(BATCH)
+    ]
+
+    batch = BatchEvaluator(fast)
+    for genotype in genotypes:  # warm both accuracy caches
+        point = CoDesignPoint(genotype=genotype, config=candidates[0].config)
+        fast.evaluate(point)
+        batch.evaluate(point)
+
+    saved_cache_size = fast.cache_size
+    fast._cache.clear()
+    fast.cache_size = 0  # make every scalar call do real predictor work
+    try:
+        t_scalar, scalar = _timed(lambda: [fast.evaluate(p) for p in candidates])
+    finally:
+        fast.cache_size = saved_cache_size
+
+    def run_batched():
+        batch._lru.clear()  # keep acc/feature caches, redo the GP work
+        return batch.evaluate_many(candidates)
+
+    t_batch, batched = _timed(run_batched)
+
+    np.testing.assert_allclose(
+        [b.energy_mj for b in batched], [s.energy_mj for s in scalar], rtol=1e-9
+    )
+    speedup = t_scalar / t_batch
+    print(
+        f"\nevaluator batch-{BATCH}: scalar {t_scalar * 1e3:.0f} ms, "
+        f"batch {t_batch * 1e3:.0f} ms -> {speedup:.1f}x"
+    )
+    assert speedup >= 2.0

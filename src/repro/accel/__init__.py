@@ -21,6 +21,7 @@ from .config import (
 from .dataflow import MappingProfile, spatial_map
 from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from .mapper import Tiling, choose_tiling
+from .batch import BatchSimResult, flatten_workloads, simulate_flat
 from .simulator import (
     EnergyBreakdown,
     LayerReport,
@@ -48,6 +49,9 @@ __all__ = [
     "LayerReport",
     "EnergyBreakdown",
     "NetworkReport",
+    "BatchSimResult",
+    "flatten_workloads",
+    "simulate_flat",
     "SystolicArraySimulator",
     "LayerWorkload",
     "network_workloads",

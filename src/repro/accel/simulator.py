@@ -18,18 +18,24 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
+import numpy as np
+
+from .batch import _LAYER_OVERHEAD_CYCLES, BatchSimResult, simulate_flat
 from .config import AcceleratorConfig
 from .dataflow import MappingProfile, spatial_map
 from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from .mapper import Tiling, choose_tiling
 from .workload import WORD_BYTES, LayerWorkload, network_workloads
 
-__all__ = ["EnergyBreakdown", "LayerReport", "NetworkReport", "SystolicArraySimulator"]
-
-#: Fixed per-layer launch/drain overhead in cycles.
-_LAYER_OVERHEAD_CYCLES = 500.0
-
+__all__ = [
+    "BatchSimResult",
+    "EnergyBreakdown",
+    "LayerReport",
+    "NetworkReport",
+    "SystolicArraySimulator",
+]
 
 @dataclass(frozen=True)
 class EnergyBreakdown:
@@ -224,6 +230,75 @@ class SystolicArraySimulator:
             total_macs=sum(r.macs for r in reports),
             total_dram_bytes=sum(r.dram_bytes for r in reports),
         )
+
+    # ------------------------------------------------------------------
+    def simulate_many(
+        self,
+        workloads: Sequence[LayerWorkload] | Sequence[Sequence[LayerWorkload]],
+        configs: Sequence[AcceleratorConfig],
+    ) -> BatchSimResult:
+        """Simulate a batch of (layers, config) points with array math.
+
+        ``workloads`` is either one layer list — broadcast across every
+        configuration, the two-stage enumeration pattern — or one layer
+        list per configuration.  Results match :meth:`simulate_network` to
+        floating-point round-off; only per-point aggregates are returned
+        (see :class:`~repro.accel.batch.BatchSimResult`).
+
+        With ``include_noc=True`` the NoC energy term is layer-object
+        based, so this path falls back to the scalar loop.
+        """
+        configs = list(configs)
+        if not configs:
+            raise ValueError("empty config batch")
+        if workloads and isinstance(workloads[0], LayerWorkload):
+            workload_lists: list[Sequence[LayerWorkload]] = [workloads] * len(configs)
+        else:
+            workload_lists = list(workloads)  # type: ignore[arg-type]
+        if len(workload_lists) != len(configs):
+            raise ValueError(
+                f"{len(workload_lists)} workload lists but {len(configs)} configs"
+            )
+        if self.include_noc and self.noc_model is not None:
+            reports = [
+                self.simulate_network(list(layers), config)
+                for layers, config in zip(workload_lists, configs)
+            ]
+            return BatchSimResult(
+                latency_ms=np.array([r.latency_ms for r in reports]),
+                energy_mj=np.array([r.energy_mj for r in reports]),
+                total_macs=np.array([r.total_macs for r in reports]),
+                total_dram_bytes=np.array([r.total_dram_bytes for r in reports]),
+            )
+        return simulate_flat(workload_lists, configs, self.energy_model)
+
+    # ------------------------------------------------------------------
+    def simulate_genotypes(
+        self,
+        pairs: Sequence[tuple],
+        num_cells: int = 6,
+        stem_channels: int = 16,
+        image_size: int = 32,
+        num_classes: int = 10,
+        batch: int = 1,
+    ) -> BatchSimResult:
+        """Batch counterpart of :meth:`simulate_genotype`.
+
+        ``pairs`` is a sequence of ``(genotype, config)`` tuples (e.g.
+        unpacked :class:`~repro.nas.encoding.CoDesignPoint` instances).
+        """
+        workload_lists = [
+            network_workloads(
+                genotype,
+                num_cells=num_cells,
+                stem_channels=stem_channels,
+                image_size=image_size,
+                num_classes=num_classes,
+                batch=batch,
+            )
+            for genotype, _config in pairs
+        ]
+        return self.simulate_many(workload_lists, [config for _g, config in pairs])
 
     # ------------------------------------------------------------------
     def simulate_genotype(

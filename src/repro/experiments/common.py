@@ -85,18 +85,16 @@ def demo_thresholds(
     sim = simulator or SystolicArraySimulator()
     rng = np.random.default_rng(seed)
     space = DnnSpace()
-    lats, eers = [], []
-    for _ in range(n_probe):
-        report = sim.simulate_genotype(
-            space.sample(rng),
-            random_config(rng),
-            num_cells=scale.hypernet_cells,
-            stem_channels=scale.hypernet_channels,
-            image_size=scale.image_size,
-        )
-        lats.append(report.latency_ms)
-        eers.append(report.energy_mj)
-    return float(np.median(lats)), float(np.median(eers))
+    pairs = [
+        (space.sample(rng), random_config(rng)) for _ in range(n_probe)
+    ]
+    batch = sim.simulate_genotypes(
+        pairs,
+        num_cells=scale.hypernet_cells,
+        stem_channels=scale.hypernet_channels,
+        image_size=scale.image_size,
+    )
+    return float(np.median(batch.latency_ms)), float(np.median(batch.energy_mj))
 
 
 def scaled_reward(spec: RewardSpec, context: "ExperimentContext") -> RewardSpec:

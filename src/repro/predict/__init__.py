@@ -6,7 +6,13 @@ Six regression families compared on simulator samples; the Gaussian process
 
 from .base import Regressor, Standardizer
 from .dataset import PerfDataset, collect_samples
-from .features import FEATURE_DIM, feature_names, feature_vector
+from .features import (
+    FEATURE_DIM,
+    config_features,
+    feature_names,
+    feature_vector,
+    genotype_features,
+)
 from .gp import GaussianProcessRegressor, rbf_kernel
 from .kernelridge import KernelRidgeRegressor
 from .knn import KNNRegressor
@@ -21,6 +27,8 @@ __all__ = [
     "PerfDataset",
     "collect_samples",
     "feature_vector",
+    "genotype_features",
+    "config_features",
     "feature_names",
     "FEATURE_DIM",
     "GaussianProcessRegressor",

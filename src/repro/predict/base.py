@@ -70,6 +70,23 @@ class Regressor:
         xs = self._x_scaler.transform(np.atleast_2d(np.asarray(x, dtype=np.float64)))
         return self._predict(xs) * self._y_scale + self._y_mean
 
+    def predict_batch(self, x: np.ndarray, chunk_size: int | None = None) -> np.ndarray:
+        """Predict a whole (n, d) batch in one call, optionally chunked.
+
+        This is the uniform batch entry point the evaluators use: every
+        regressor accepts a matrix, and ``chunk_size`` bounds the working
+        set of models whose per-query memory grows with the batch (the GP
+        materialises an (n, n_train) kernel block per call).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if chunk_size is None or len(x) <= chunk_size:
+            return self.predict(x)
+        return np.concatenate(
+            [self.predict(x[lo : lo + chunk_size]) for lo in range(0, len(x), chunk_size)]
+        )
+
     # -- subclass hooks ----------------------------------------------------
     def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
         raise NotImplementedError

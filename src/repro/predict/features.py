@@ -24,7 +24,13 @@ from ..nas.encoding import CoDesignPoint
 from ..nas.genotype import Genotype
 from ..nas.ops import OP_NAMES
 
-__all__ = ["feature_vector", "feature_names", "FEATURE_DIM"]
+__all__ = [
+    "feature_vector",
+    "genotype_features",
+    "config_features",
+    "feature_names",
+    "FEATURE_DIM",
+]
 
 
 def feature_names(
@@ -55,16 +61,21 @@ def feature_names(
 FEATURE_DIM: int = len(feature_names())
 
 
-def feature_vector(
-    point: CoDesignPoint,
+def genotype_features(
+    genotype: Genotype,
     num_cells: int = 6,
     stem_channels: int = 16,
     image_size: int = 32,
     num_classes: int = 10,
+    layers=None,
 ) -> np.ndarray:
-    """Encode one co-design point as a float vector of length FEATURE_DIM."""
-    genotype: Genotype = point.genotype
-    config: AcceleratorConfig = point.config
+    """The genotype-dependent prefix of the feature vector.
+
+    Independent of the hardware configuration, so batch evaluators cache it
+    per genotype while the search re-pairs architectures with new hardware
+    tokens.  ``layers`` accepts a precomputed workload expansion to avoid
+    walking the genotype twice when the caller already has one.
+    """
     feats: list[float] = []
     for cell in (genotype.normal, genotype.reduce):
         counts = cell.op_counts()
@@ -77,13 +88,14 @@ def feature_vector(
             for node in cell.nodes
         )
         feats.append(float(input_edges))
-    layers = network_workloads(
-        genotype,
-        num_cells=num_cells,
-        stem_channels=stem_channels,
-        image_size=image_size,
-        num_classes=num_classes,
-    )
+    if layers is None:
+        layers = network_workloads(
+            genotype,
+            num_cells=num_cells,
+            stem_channels=stem_channels,
+            image_size=image_size,
+            num_classes=num_classes,
+        )
     total_macs = sum(l.macs for l in layers)
     total_weights = sum(l.weight_bytes for l in layers)
     total_act = sum(l.ifmap_bytes + l.ofmap_bytes for l in layers)
@@ -91,10 +103,41 @@ def feature_vector(
     feats.append(math.log(max(total_weights, 1.0)))
     feats.append(math.log(max(total_act, 1.0)))
     feats.append(float(len(layers)))
-    feats.append(float(config.pe_rows))
-    feats.append(float(config.pe_cols))
-    feats.append(math.log(config.num_pes))
-    feats.append(math.log(config.gbuf_kb))
-    feats.append(math.log(config.rbuf_bytes))
+    return np.asarray(feats, dtype=np.float64)
+
+
+def config_features(config: AcceleratorConfig) -> np.ndarray:
+    """The hardware-dependent suffix of the feature vector."""
+    feats = [
+        float(config.pe_rows),
+        float(config.pe_cols),
+        math.log(config.num_pes),
+        math.log(config.gbuf_kb),
+        math.log(config.rbuf_bytes),
+    ]
     feats.extend(1.0 if config.dataflow == flow else 0.0 for flow in DATAFLOW_CHOICES)
     return np.asarray(feats, dtype=np.float64)
+
+
+def feature_vector(
+    point: CoDesignPoint,
+    num_cells: int = 6,
+    stem_channels: int = 16,
+    image_size: int = 32,
+    num_classes: int = 10,
+    layers=None,
+) -> np.ndarray:
+    """Encode one co-design point as a float vector of length FEATURE_DIM."""
+    return np.concatenate(
+        [
+            genotype_features(
+                point.genotype,
+                num_cells=num_cells,
+                stem_channels=stem_channels,
+                image_size=image_size,
+                num_classes=num_classes,
+                layers=layers,
+            ),
+            config_features(point.config),
+        ]
+    )

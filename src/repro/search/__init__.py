@@ -6,7 +6,7 @@ from .bandit import BanditSearch
 from .bayesopt import BayesianOptSearch, expected_improvement
 from .evolution import EvolutionSearch
 from .controller import Controller, SampledSequence
-from .evaluator import AccurateEvaluator, Evaluation, FastEvaluator
+from .evaluator import AccurateEvaluator, BatchEvaluator, Evaluation, FastEvaluator
 from .lstm import LSTMCell, LSTMState
 from .random_search import RandomSearch
 from .reinforce import ReinforceSearch, SearchHistory, SearchSample
@@ -32,6 +32,7 @@ __all__ = [
     "LSTMState",
     "Evaluation",
     "FastEvaluator",
+    "BatchEvaluator",
     "AccurateEvaluator",
     "ReinforceSearch",
     "SearchHistory",

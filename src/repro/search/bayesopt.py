@@ -50,6 +50,9 @@ class BayesianOptSearch:
     predictors use; candidates are proposed by uniformly sampling a pool of
     token sequences and picking the EI maximiser.  The first
     ``n_initial`` iterations are pure random exploration.
+
+    ``batch_size`` > 1 proposes the top-B EI candidates of each pool and
+    scores them in one batched evaluator call (greedy q-EI).
     """
 
     def __init__(
@@ -61,14 +64,20 @@ class BayesianOptSearch:
         refit_every: int = 5,
         seed: int = 0,
         feature_kwargs: dict | None = None,
+        batch_size: int = 1,
+        evaluate_batch: Callable[[list[CoDesignPoint]], list[Evaluation]] | None = None,
     ) -> None:
         if n_initial < 2:
             raise ValueError("n_initial must be >= 2 (the GP needs data)")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.evaluate = evaluate
+        self.evaluate_batch = evaluate_batch
         self.reward_spec = reward_spec
         self.n_initial = n_initial
         self.pool_size = pool_size
         self.refit_every = max(1, refit_every)
+        self.batch_size = batch_size
         self.rng = np.random.default_rng(seed)
         self.feature_kwargs = feature_kwargs or {}
         self.history = SearchHistory()
@@ -78,9 +87,10 @@ class BayesianOptSearch:
         self._since_fit = 0
 
     # ------------------------------------------------------------------
-    def _propose(self) -> list[int]:
+    def _propose_batch(self, n: int) -> list[list[int]]:
+        """Top-``n`` EI candidates from one scored pool (n=1: the maximiser)."""
         if len(self._rewards) < self.n_initial or self._gp is None:
-            return random_sequence(self.rng)
+            return [random_sequence(self.rng) for _ in range(n)]
         pool = [random_sequence(self.rng) for _ in range(self.pool_size)]
         feats = np.stack(
             [
@@ -90,7 +100,16 @@ class BayesianOptSearch:
         )
         mean, std = self._gp.predict_with_std(feats)
         ei = expected_improvement(mean, std, best=max(self._rewards))
-        return pool[int(np.argmax(ei))]
+        if n == 1:
+            return [pool[int(np.argmax(ei))]]
+        order = np.argsort(ei)[::-1][: min(n, len(pool))]
+        picked = [pool[int(i)] for i in order]
+        while len(picked) < n:  # pool smaller than the batch: pad randomly
+            picked.append(random_sequence(self.rng))
+        return picked
+
+    def _propose(self) -> list[int]:
+        return self._propose_batch(1)[0]
 
     def _maybe_refit(self) -> None:
         self._since_fit += 1
@@ -104,29 +123,48 @@ class BayesianOptSearch:
             self._since_fit = 0
 
     def step(self) -> SearchSample:
-        tokens = self._propose()
-        point = decode(tokens, name=f"bo{len(self.history)}")
-        evaluation = self.evaluate(point)
-        reward = self.reward_spec.reward(
-            evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
-        )
-        self._features.append(feature_vector(point, **self.feature_kwargs))
-        self._rewards.append(reward)
-        self._maybe_refit()
-        sample = SearchSample(
-            iteration=len(self.history),
-            tokens=tuple(tokens),
-            reward=reward,
-            accuracy=evaluation.accuracy,
-            latency_ms=evaluation.latency_ms,
-            energy_mj=evaluation.energy_mj,
-        )
-        self.history.append(sample)
-        return sample
+        return self.step_batch(1)[0]
+
+    def step_batch(self, n: int) -> list[SearchSample]:
+        """Propose, score and absorb ``n`` candidates in one round."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        base = len(self.history)
+        token_lists = self._propose_batch(n)
+        points = [
+            decode(tokens, name=f"bo{base + j}")
+            for j, tokens in enumerate(token_lists)
+        ]
+        if self.evaluate_batch is not None:
+            evaluations = list(self.evaluate_batch(points))
+        else:
+            evaluations = [self.evaluate(point) for point in points]
+        samples: list[SearchSample] = []
+        for tokens, point, evaluation in zip(token_lists, points, evaluations):
+            reward = self.reward_spec.reward(
+                evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
+            )
+            self._features.append(feature_vector(point, **self.feature_kwargs))
+            self._rewards.append(reward)
+            self._maybe_refit()
+            sample = SearchSample(
+                iteration=len(self.history),
+                tokens=tuple(tokens),
+                reward=reward,
+                accuracy=evaluation.accuracy,
+                latency_ms=evaluation.latency_ms,
+                energy_mj=evaluation.energy_mj,
+            )
+            self.history.append(sample)
+            samples.append(sample)
+        return samples
 
     def run(self, iterations: int) -> SearchHistory:
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         while len(self.history) < iterations:
-            self.step()
+            if self.batch_size == 1:
+                self.step()
+            else:
+                self.step_batch(min(self.batch_size, iterations - len(self.history)))
         return self.history

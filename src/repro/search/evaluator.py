@@ -5,25 +5,32 @@ weights for accuracy (one test run instead of full training) plus the two
 Gaussian-process predictors for latency and energy (instead of simulation).
 Step 3 rescoring uses the :class:`AccurateEvaluator` — stand-alone training
 plus the full analytical simulator — on the top-N candidates only.
+
+:class:`BatchEvaluator` wraps a fast evaluator with the batched scoring
+path the searches use: B candidates per call, one batched GP prediction
+per metric instead of B scalar ones, per-genotype reuse of the accuracy
+measurement and feature prefix, and a shared encoding-keyed LRU cache.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..accel.simulator import SystolicArraySimulator
-from ..nas.encoding import CoDesignPoint
+from ..nas.encoding import DNN_TOKENS, CoDesignPoint, decode, encode
 from ..nas.hypernet import HyperNet
 from ..nas.network import CellNetwork
 from ..nas.train import train_network
 from ..nn.data import SyntheticCifar
 from ..predict.dataset import PerfDataset
-from ..predict.features import feature_vector
+from ..predict.features import config_features, feature_vector, genotype_features
 from ..predict.gp import GaussianProcessRegressor
 
-__all__ = ["Evaluation", "FastEvaluator", "AccurateEvaluator"]
+__all__ = ["Evaluation", "FastEvaluator", "BatchEvaluator", "AccurateEvaluator"]
 
 
 @dataclass(frozen=True)
@@ -69,9 +76,11 @@ class FastEvaluator:
         self.cache_size = cache_size
         # Accuracy depends only on the genotype (not the hardware config),
         # so it gets its own cache — the controller frequently re-pairs a
-        # converged architecture with different hardware tokens.
-        self._acc_cache: dict[str, float] = {}
-        self._cache: dict[str, Evaluation] = {}
+        # converged architecture with different hardware tokens.  Keys are
+        # the frozen cell genotypes themselves (NOT ``to_json``, which
+        # embeds the per-iteration name and would never hit).
+        self._acc_cache: dict[tuple, float] = {}
+        self._cache: dict[tuple, Evaluation] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -99,8 +108,8 @@ class FastEvaluator:
 
     def evaluate(self, point: CoDesignPoint) -> Evaluation:
         """Predict accuracy/latency/energy of one candidate (cached)."""
-        geno_key = point.genotype.to_json()
-        key = geno_key + "|" + point.config.describe()
+        geno_key = (point.genotype.normal, point.genotype.reduce)
+        key = (geno_key, point.config)
         hit = self._cache.get(key)
         if hit is not None:
             return hit
@@ -131,6 +140,161 @@ class FastEvaluator:
         if len(self._cache) < self.cache_size:
             self._cache[key] = result
         return result
+
+
+class BatchEvaluator:
+    """Batched candidate scoring with a shared encoding-keyed LRU cache.
+
+    Wraps a :class:`FastEvaluator` and scores B candidates per call:
+
+    * results are cached under the candidate's 44-token action-sequence
+      encoding in a true LRU (the fast evaluator's dicts stop inserting
+      when full; this one evicts the least recently used entry instead);
+    * accuracy is measured once per *unique genotype* in the batch;
+    * the genotype-dependent feature prefix is cached per genotype, so a
+      converged architecture re-paired with new hardware tokens only pays
+      for the cheap hardware feature suffix;
+    * latency and energy come from ONE batched GP prediction per metric
+      instead of one kernel evaluation per candidate.
+
+    ``evaluate_tokens`` skips decoding cached candidates entirely, which is
+    the entry point the token-space searches use.
+    """
+
+    def __init__(self, fast: FastEvaluator, cache_size: int = 16384) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.fast = fast
+        self.cache_size = cache_size
+        self._lru: OrderedDict[tuple[int, ...], Evaluation] = OrderedDict()
+        self._acc_lru: OrderedDict[tuple[int, ...], float] = OrderedDict()
+        self._feat_lru: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key_of(point: CoDesignPoint) -> tuple:
+        """Canonical cache key: the token encoding when the point is on the
+        search grids, otherwise the frozen (cells, config) objects (a valid
+        AcceleratorConfig need not lie on the Table 1 choice lists)."""
+        try:
+            return tuple(encode(point))
+        except ValueError:
+            return (point.genotype.normal, point.genotype.reduce, point.config)
+
+    @staticmethod
+    def _geno_key_of(key: tuple) -> tuple:
+        """The genotype-only part of a cache key (either key flavour)."""
+        return key[:DNN_TOKENS] if len(key) != 3 else key[:2]
+
+    def evaluate(self, point: CoDesignPoint) -> Evaluation:
+        """Scalar convenience entry point (drop-in for FastEvaluator)."""
+        return self.evaluate_many([point])[0]
+
+    def evaluate_many(self, points: Sequence[CoDesignPoint]) -> list[Evaluation]:
+        """Score a batch of co-design points (cached, order-preserving)."""
+        keys = [self._key_of(point) for point in points]
+        by_key = {key: point for key, point in zip(keys, points)}
+        results = self._materialise(keys, by_key)
+        return [results[key] for key in keys]
+
+    def evaluate_tokens(
+        self, token_seqs: Iterable[Sequence[int]]
+    ) -> list[Evaluation]:
+        """Score a batch of 44-token sequences; cache hits skip decoding."""
+        keys = [tuple(tokens) for tokens in token_seqs]
+        results = self._materialise(keys, by_key=None)
+        return [results[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lru_put(lru: OrderedDict, key, value, cap: int) -> None:
+        lru[key] = value
+        lru.move_to_end(key)
+        while len(lru) > cap:
+            lru.popitem(last=False)
+
+    def _materialise(
+        self,
+        keys: Sequence[tuple],
+        by_key: dict[tuple, CoDesignPoint] | None,
+    ) -> dict[tuple, Evaluation]:
+        """Resolve every key, batching all miss computations.
+
+        Returns a key -> Evaluation mapping covering the whole request; the
+        LRU is a cache on top of it, so results survive even when the batch
+        holds more unique candidates than ``cache_size``.
+        """
+        results: dict[tuple, Evaluation] = {}
+        missing: list[tuple] = []
+        for key in keys:
+            if key in self._lru:
+                self.hits += 1
+                self._lru.move_to_end(key)
+                results[key] = self._lru[key]
+            elif key in results:
+                # Intra-batch duplicate of a miss: one materialisation
+                # serves it, which is a hit for accounting purposes.
+                self.hits += 1
+            else:
+                self.misses += 1
+                results[key] = None  # type: ignore[assignment]  # placeholder
+                missing.append(key)
+        if not missing:
+            return results
+        fast = self.fast
+        accuracies: list[float] = []
+        rows: list[np.ndarray] = []
+        for key in missing:
+            point = by_key[key] if by_key is not None else decode(list(key))
+            geno_key = self._geno_key_of(key)
+            accuracy = self._acc_lru.get(geno_key)
+            if accuracy is None:
+                accuracy = fast.hypernet.evaluate(
+                    point.genotype,
+                    fast.val_images,
+                    fast.val_labels,
+                    batch_size=fast.eval_batch,
+                )
+                self._lru_put(self._acc_lru, geno_key, accuracy, self.cache_size)
+            else:
+                self._acc_lru.move_to_end(geno_key)
+            accuracies.append(accuracy)
+            geno_feats = self._feat_lru.get(geno_key)
+            if geno_feats is None:
+                geno_feats = genotype_features(
+                    point.genotype,
+                    num_cells=fast.num_cells,
+                    stem_channels=fast.stem_channels,
+                    image_size=fast.image_size,
+                    num_classes=fast.num_classes,
+                )
+                self._lru_put(self._feat_lru, geno_key, geno_feats, self.cache_size)
+            else:
+                self._feat_lru.move_to_end(geno_key)
+            rows.append(np.concatenate([geno_feats, config_features(point.config)]))
+        features = np.stack(rows)
+        latencies = fast.latency_gp.predict_batch(features)
+        energies = fast.energy_gp.predict_batch(features)
+        for key, accuracy, latency, energy in zip(
+            missing, accuracies, latencies, energies
+        ):
+            result = Evaluation(
+                accuracy=accuracy,
+                latency_ms=max(float(latency), 1e-6),
+                energy_mj=max(float(energy), 1e-6),
+            )
+            results[key] = result
+            self._lru_put(self._lru, key, result, self.cache_size)
+        return results
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the LRU (0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class AccurateEvaluator:

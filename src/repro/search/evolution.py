@@ -26,7 +26,14 @@ __all__ = ["EvolutionSearch"]
 
 
 class EvolutionSearch:
-    """Aging evolution over 44-token co-design sequences."""
+    """Aging evolution over 44-token co-design sequences.
+
+    With ``batch_size`` > 1 the loop runs generation-style: B children are
+    bred from the *current* population snapshot, scored in one batched
+    evaluator call, then inserted together while the B oldest individuals
+    die.  ``batch_size=1`` (default) is the classic fully-sequential aging
+    evolution of Real et al.
+    """
 
     def __init__(
         self,
@@ -36,38 +43,68 @@ class EvolutionSearch:
         tournament_size: int = 5,
         mutations_per_child: int = 1,
         seed: int = 0,
+        batch_size: int = 1,
+        evaluate_batch: Callable[[list[CoDesignPoint]], list[Evaluation]] | None = None,
     ) -> None:
         if population_size < 2:
             raise ValueError("population_size must be >= 2")
         if not 1 <= tournament_size <= population_size:
             raise ValueError("tournament_size must be in [1, population_size]")
+        if not 1 <= batch_size <= population_size:
+            raise ValueError("batch_size must be in [1, population_size]")
         self.evaluate = evaluate
+        self.evaluate_batch = evaluate_batch
         self.reward_spec = reward_spec
         self.population_size = population_size
         self.tournament_size = tournament_size
         self.mutations_per_child = mutations_per_child
+        self.batch_size = batch_size
         self.rng = np.random.default_rng(seed)
         self.history = SearchHistory()
         #: (tokens, reward) pairs, oldest first.
         self._population: deque[tuple[list[int], float]] = deque()
 
     # ------------------------------------------------------------------
+    def _evaluate_points(self, points: list[CoDesignPoint]) -> list[Evaluation]:
+        if self.evaluate_batch is not None:
+            return list(self.evaluate_batch(points))
+        return [self.evaluate(point) for point in points]
+
+    def _score_batch(self, token_lists: list[list[int]]) -> list[SearchSample]:
+        base = len(self.history)
+        points = [
+            decode(tokens, name=f"evo{base + j}")
+            for j, tokens in enumerate(token_lists)
+        ]
+        samples: list[SearchSample] = []
+        for tokens, evaluation in zip(token_lists, self._evaluate_points(points)):
+            reward = self.reward_spec.reward(
+                evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
+            )
+            sample = SearchSample(
+                iteration=len(self.history),
+                tokens=tuple(tokens),
+                reward=reward,
+                accuracy=evaluation.accuracy,
+                latency_ms=evaluation.latency_ms,
+                energy_mj=evaluation.energy_mj,
+            )
+            self.history.append(sample)
+            samples.append(sample)
+        return samples
+
     def _score(self, tokens: list[int]) -> SearchSample:
-        point = decode(tokens, name=f"evo{len(self.history)}")
-        evaluation = self.evaluate(point)
-        reward = self.reward_spec.reward(
-            evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
+        return self._score_batch([tokens])[0]
+
+    def _select_parent(self) -> list[int]:
+        """Tournament selection among a random subset of the population."""
+        indices = self.rng.choice(
+            len(self._population), size=self.tournament_size, replace=False
         )
-        sample = SearchSample(
-            iteration=len(self.history),
-            tokens=tuple(tokens),
-            reward=reward,
-            accuracy=evaluation.accuracy,
-            latency_ms=evaluation.latency_ms,
-            energy_mj=evaluation.energy_mj,
+        parent_tokens, _ = max(
+            (self._population[int(i)] for i in indices), key=lambda tr: tr[1]
         )
-        self.history.append(sample)
-        return sample
+        return parent_tokens
 
     def step(self) -> SearchSample:
         """One evaluation: seed the population, then evolve."""
@@ -76,24 +113,46 @@ class EvolutionSearch:
             sample = self._score(tokens)
             self._population.append((tokens, sample.reward))
             return sample
-        # Tournament selection among a random subset.
-        indices = self.rng.choice(
-            len(self._population), size=self.tournament_size, replace=False
+        child = mutate_sequence(
+            self._select_parent(), self.rng, self.mutations_per_child
         )
-        parent_tokens, _ = max(
-            (self._population[int(i)] for i in indices), key=lambda tr: tr[1]
-        )
-        child = mutate_sequence(parent_tokens, self.rng, self.mutations_per_child)
         sample = self._score(child)
         self._population.append((child, sample.reward))
         self._population.popleft()  # aging: the oldest dies
         return sample
 
+    def step_batch(self, n: int) -> list[SearchSample]:
+        """Breed, score and insert ``n`` children from one snapshot."""
+        if not 1 <= n <= self.population_size:
+            raise ValueError("n must be in [1, population_size]")
+        if len(self._population) < self.population_size:
+            # Seed phase: batch-score up to n random individuals.
+            n = min(n, self.population_size - len(self._population))
+            token_lists = [random_sequence(self.rng) for _ in range(n)]
+            samples = self._score_batch(token_lists)
+            for tokens, sample in zip(token_lists, samples):
+                self._population.append((tokens, sample.reward))
+            return samples
+        children = [
+            mutate_sequence(self._select_parent(), self.rng, self.mutations_per_child)
+            for _ in range(n)
+        ]
+        samples = self._score_batch(children)
+        for child, sample in zip(children, samples):
+            self._population.append((child, sample.reward))
+            self._population.popleft()  # aging: the oldest dies
+        return samples
+
     def run(self, iterations: int) -> SearchHistory:
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         while len(self.history) < iterations:
-            self.step()
+            if self.batch_size == 1:
+                self.step()
+            else:
+                self.step_batch(
+                    min(self.batch_size, iterations - len(self.history))
+                )
         return self.history
 
     @property

@@ -2,7 +2,10 @@
 
 Uniformly samples co-design points from the same combined space and scores
 them with the same evaluator and reward; the only difference from the RL
-search is the absence of a learned policy.
+search is the absence of a learned policy.  ``batch_size`` controls how
+many candidates are drawn and scored per batched evaluator call — token
+sampling is the only RNG consumer, so the history is identical for every
+batch size.
 """
 
 from __future__ import annotations
@@ -27,23 +30,26 @@ class RandomSearch:
         evaluate: Callable[[CoDesignPoint], Evaluation],
         reward_spec: RewardSpec,
         seed: int = 0,
+        batch_size: int = 1,
+        evaluate_batch: Callable[[list[CoDesignPoint]], list[Evaluation]] | None = None,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.evaluate = evaluate
+        self.evaluate_batch = evaluate_batch
         self.reward_spec = reward_spec
+        self.batch_size = batch_size
         self.rng = np.random.default_rng(seed)
         self.history = SearchHistory()
 
-    def step(self) -> SearchSample:
-        tokens = random_sequence(self.rng)
-        point = decode(tokens, name=f"rand{len(self.history)}")
-        evaluation = self.evaluate(point)
-        reward = self.reward_spec.reward(
-            evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
-        )
+    # ------------------------------------------------------------------
+    def _record(self, tokens: list[int], evaluation: Evaluation) -> SearchSample:
         sample = SearchSample(
             iteration=len(self.history),
             tokens=tuple(tokens),
-            reward=reward,
+            reward=self.reward_spec.reward(
+                evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
+            ),
             accuracy=evaluation.accuracy,
             latency_ms=evaluation.latency_ms,
             energy_mj=evaluation.energy_mj,
@@ -51,9 +57,36 @@ class RandomSearch:
         self.history.append(sample)
         return sample
 
+    def step(self) -> SearchSample:
+        tokens = random_sequence(self.rng)
+        point = decode(tokens, name=f"rand{len(self.history)}")
+        return self._record(tokens, self.evaluate(point))
+
+    def step_batch(self, n: int) -> list[SearchSample]:
+        """Draw and score ``n`` candidates in one batched evaluator call."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        base = len(self.history)
+        token_lists = [random_sequence(self.rng) for _ in range(n)]
+        points = [
+            decode(tokens, name=f"rand{base + j}")
+            for j, tokens in enumerate(token_lists)
+        ]
+        if self.evaluate_batch is not None:
+            evaluations = list(self.evaluate_batch(points))
+        else:
+            evaluations = [self.evaluate(point) for point in points]
+        return [
+            self._record(tokens, evaluation)
+            for tokens, evaluation in zip(token_lists, evaluations)
+        ]
+
     def run(self, iterations: int) -> SearchHistory:
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         while len(self.history) < iterations:
-            self.step()
+            if self.batch_size == 1:
+                self.step()
+            else:
+                self.step_batch(min(self.batch_size, iterations - len(self.history)))
         return self.history

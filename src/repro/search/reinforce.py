@@ -79,7 +79,16 @@ class SearchHistory:
 
 
 class ReinforceSearch:
-    """The RL search loop of YOSO Step 2."""
+    """The RL search loop of YOSO Step 2.
+
+    ``batch_episodes`` rollouts are sampled per policy update; when an
+    ``evaluate_batch`` callable is given (e.g.
+    :meth:`repro.search.evaluator.BatchEvaluator.evaluate_many`) all
+    rollouts of a step are scored in one batched call instead of one
+    evaluator round-trip per rollout.  Candidate evaluation never touches
+    the controller or the RNG, so batching changes wall-clock only — the
+    sampled tokens, baseline updates and gradients are identical.
+    """
 
     def __init__(
         self,
@@ -92,9 +101,11 @@ class ReinforceSearch:
         batch_episodes: int = 1,
         grad_clip: float = 10.0,
         seed: int = 0,
+        evaluate_batch: Callable[[list[CoDesignPoint]], list[Evaluation]] | None = None,
     ) -> None:
         self.controller = controller
         self.evaluate = evaluate
+        self.evaluate_batch = evaluate_batch
         self.reward_spec = reward_spec
         self.optimiser = Adam(controller.parameters(), lr=lr)
         self.baseline_decay = baseline_decay
@@ -106,19 +117,30 @@ class ReinforceSearch:
         self.history = SearchHistory()
 
     # ------------------------------------------------------------------
+    def _evaluate_points(self, points: list[CoDesignPoint]) -> list[Evaluation]:
+        if self.evaluate_batch is not None:
+            return list(self.evaluate_batch(points))
+        return [self.evaluate(point) for point in points]
+
     def step(self) -> SearchSample:
         """Sample, evaluate and learn from ``batch_episodes`` episodes."""
         self.optimiser.zero_grad()
+        base = len(self.history)
+        episodes = [
+            self.controller.sample(self.rng) for _ in range(self.batch_episodes)
+        ]
+        points = [
+            decode(episode.tokens, name=f"iter{base + j}")
+            for j, episode in enumerate(episodes)
+        ]
+        evaluations = self._evaluate_points(points)
         last: SearchSample | None = None
-        for _ in range(self.batch_episodes):
-            sample = self.controller.sample(self.rng)
-            point = decode(sample.tokens, name=f"iter{len(self.history)}")
-            evaluation = self.evaluate(point)
+        for episode, evaluation in zip(episodes, evaluations):
             reward = self.reward_spec.reward(
                 evaluation.accuracy, evaluation.latency_ms, evaluation.energy_mj
             )
             # Entropy bonus added to the reward (Sec. IV-C).
-            shaped_reward = reward + self.entropy_weight * sample.entropy
+            shaped_reward = reward + self.entropy_weight * episode.entropy
             if self.baseline is None:
                 self.baseline = shaped_reward
             advantage = shaped_reward - self.baseline
@@ -126,10 +148,10 @@ class ReinforceSearch:
                 self.baseline_decay * self.baseline
                 + (1.0 - self.baseline_decay) * shaped_reward
             )
-            self.controller.accumulate_policy_gradient(sample, advantage)
+            self.controller.accumulate_policy_gradient(episode, advantage)
             last = SearchSample(
                 iteration=len(self.history),
-                tokens=tuple(sample.tokens),
+                tokens=tuple(episode.tokens),
                 reward=reward,
                 accuracy=evaluation.accuracy,
                 latency_ms=evaluation.latency_ms,

@@ -22,7 +22,7 @@ from ..nas.hypernet import HyperNet, HyperNetTrainer
 from ..nn.data import SyntheticCifar
 from ..predict.dataset import PerfDataset, collect_samples
 from .controller import Controller
-from .evaluator import AccurateEvaluator, Evaluation, FastEvaluator
+from .evaluator import AccurateEvaluator, BatchEvaluator, Evaluation, FastEvaluator
 from .reinforce import ReinforceSearch, SearchHistory, SearchSample
 from .reward import RewardSpec
 
@@ -46,6 +46,10 @@ class YosoConfig:
     controller_lr: float = 0.0035
     entropy_weight: float = 1e-4
     eval_batch: int = 64
+    #: Controller rollouts sampled, batch-scored and accumulated per policy
+    #: update (1 = the paper's per-episode update; candidate *scoring* goes
+    #: through the batched evaluator either way).
+    search_batch: int = 1
     seed: int = 0
 
 
@@ -90,6 +94,7 @@ class YosoSearch:
         self.hypernet: HyperNet | None = None
         self.samples: PerfDataset | None = None
         self.fast_evaluator: FastEvaluator | None = None
+        self.batch_evaluator: BatchEvaluator | None = None
         self.search: ReinforceSearch | None = None
 
     # -- Step 1 ----------------------------------------------------------
@@ -131,18 +136,21 @@ class YosoSearch:
 
     # -- Step 2 ----------------------------------------------------------
     def run_search(self) -> SearchHistory:
-        """Run the RL search with the fast evaluator."""
+        """Run the RL search with the (batched) fast evaluator."""
         if self.fast_evaluator is None:
             raise RuntimeError("call build_fast_evaluator() first (Step 1)")
         cfg = self.config
         controller = Controller(hidden_dim=cfg.controller_hidden, seed=cfg.seed)
+        self.batch_evaluator = BatchEvaluator(self.fast_evaluator)
         self.search = ReinforceSearch(
             controller,
-            self.fast_evaluator.evaluate,
+            self.batch_evaluator.evaluate,
             self.reward_spec,
             lr=cfg.controller_lr,
             entropy_weight=cfg.entropy_weight,
+            batch_episodes=cfg.search_batch,
             seed=cfg.seed,
+            evaluate_batch=self.batch_evaluator.evaluate_many,
         )
         return self.search.run(cfg.search_iterations)
 

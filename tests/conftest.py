@@ -55,6 +55,19 @@ def tiny_dataset() -> SyntheticCifar:
     )
 
 
+@pytest.fixture(scope="session")
+def smoke_context():
+    """The shared smoke-scale experiment context (mirrors benchmarks/).
+
+    ``get_context`` caches per (scale, seed) process-wide, so every test —
+    including the CLI commands invoked with ``--scale smoke`` — shares one
+    trained HyperNet and one set of GP predictors.
+    """
+    from repro.experiments import get_context
+
+    return get_context("smoke", seed=0)
+
+
 def numerical_gradient(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
     """Central-difference gradient of scalar f w.r.t. array x (float64)."""
     grad = np.zeros_like(x, dtype=np.float64)

@@ -1,0 +1,317 @@
+"""Parity and cache-semantics tests for the batched evaluation engine.
+
+The batch paths (``simulate_many`` / ``BatchEvaluator`` / batched searches)
+must produce the same numbers as the scalar paths they accelerate — these
+tests pin that to floating-point round-off — and the encoding-keyed LRU
+must serve repeats without recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.config import enumerate_configs, random_config
+from repro.accel.simulator import SystolicArraySimulator
+from repro.accel.workload import network_workloads
+from repro.nas.encoding import CoDesignPoint, encode
+from repro.nas.hypernet import HyperNet
+from repro.nas.space import DnnSpace
+from repro.predict.dataset import collect_samples
+from repro.search.evaluator import BatchEvaluator, FastEvaluator
+from repro.search.random_search import RandomSearch
+from repro.search.reinforce import ReinforceSearch
+from repro.search.reward import BALANCED
+
+SMALL = dict(num_cells=3, stem_channels=4, image_size=8)
+#: Scalar-vs-batch agreement: identical formulas, different summation order.
+TOL = dict(rel=1e-9, abs=1e-15)
+
+
+def random_points(n: int, seed: int = 0) -> list[CoDesignPoint]:
+    rng = np.random.default_rng(seed)
+    space = DnnSpace()
+    return [
+        CoDesignPoint(genotype=space.sample(rng), config=random_config(rng))
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SystolicArraySimulator()
+
+
+@pytest.fixture(scope="module")
+def fast_evaluator(tiny_dataset):
+    hypernet = HyperNet(
+        num_cells=3, stem_channels=4, num_classes=10, rng=np.random.default_rng(0)
+    )
+    samples = collect_samples(30, seed=0, **SMALL)
+    return FastEvaluator.from_samples(
+        hypernet, tiny_dataset, samples, eval_batch=48, **SMALL
+    )
+
+
+class TestSimulateManyParity:
+    def test_one_network_many_configs(self, sim, genotype):
+        """Broadcast sweep must match per-config scalar simulation."""
+        layers = network_workloads(genotype, **SMALL)
+        configs = list(enumerate_configs())[::17]
+        batch = sim.simulate_many(layers, configs)
+        for i, config in enumerate(configs):
+            report = sim.simulate_network(layers, config)
+            assert batch.latency_ms[i] == pytest.approx(report.latency_ms, **TOL)
+            assert batch.energy_mj[i] == pytest.approx(report.energy_mj, **TOL)
+            assert batch.total_macs[i] == pytest.approx(report.total_macs, **TOL)
+            assert batch.total_dram_bytes[i] == pytest.approx(
+                report.total_dram_bytes, **TOL
+            )
+
+    def test_many_networks_many_configs(self, sim):
+        """Ragged (per-point layer list) batches must match too."""
+        points = random_points(24, seed=1)
+        pairs = [(p.genotype, p.config) for p in points]
+        batch = sim.simulate_genotypes(pairs, **SMALL)
+        assert len(batch) == 24
+        for i, point in enumerate(points):
+            report = sim.simulate_genotype(point.genotype, point.config, **SMALL)
+            assert batch.latency_ms[i] == pytest.approx(report.latency_ms, **TOL)
+            assert batch.energy_mj[i] == pytest.approx(report.energy_mj, **TOL)
+
+    def test_every_dataflow_covered(self, sim, genotype):
+        """All four mapping models agree with their scalar branches."""
+        layers = network_workloads(genotype, **SMALL)
+        from repro.accel.config import AcceleratorConfig
+
+        configs = [
+            AcceleratorConfig(14, 16, 196, 128, flow)
+            for flow in ("WS", "OS", "RS", "NLR")
+        ]
+        batch = sim.simulate_many(layers, configs)
+        for i, config in enumerate(configs):
+            report = sim.simulate_network(layers, config)
+            assert batch.energy_mj[i] == pytest.approx(report.energy_mj, **TOL)
+            assert batch.latency_ms[i] == pytest.approx(report.latency_ms, **TOL)
+
+    def test_include_noc_falls_back_to_scalar(self, genotype):
+        noc_sim = SystolicArraySimulator(include_noc=True)
+        layers = network_workloads(genotype, **SMALL)
+        configs = list(enumerate_configs())[::200]
+        batch = noc_sim.simulate_many(layers, configs)
+        for i, config in enumerate(configs):
+            report = noc_sim.simulate_network(layers, config)
+            assert batch.energy_mj[i] == report.energy_mj
+
+    def test_empty_batch_rejected(self, sim, genotype):
+        layers = network_workloads(genotype, **SMALL)
+        with pytest.raises(ValueError):
+            sim.simulate_many(layers, [])
+
+    def test_mismatched_lengths_rejected(self, sim, genotype):
+        layers = network_workloads(genotype, **SMALL)
+        configs = list(enumerate_configs())[:3]
+        with pytest.raises(ValueError):
+            sim.simulate_many([layers, layers], configs)
+
+
+class TestPredictBatch:
+    def test_matches_predict(self):
+        from repro.predict.gp import GaussianProcessRegressor
+
+        samples = collect_samples(40, seed=2, **SMALL)
+        gp = GaussianProcessRegressor(optimise=False)
+        gp.fit(samples.x[:30], samples.energy_mj[:30])
+        single = np.array([float(gp.predict(x[None, :])[0]) for x in samples.x[30:]])
+        batch = gp.predict_batch(samples.x[30:])
+        np.testing.assert_allclose(batch, single, rtol=1e-9)
+
+    def test_chunked_matches_unchunked(self):
+        from repro.predict.gp import GaussianProcessRegressor
+
+        samples = collect_samples(40, seed=3, **SMALL)
+        gp = GaussianProcessRegressor(optimise=False)
+        gp.fit(samples.x[:30], samples.energy_mj[:30])
+        full = gp.predict_batch(samples.x)
+        chunked = gp.predict_batch(samples.x, chunk_size=7)
+        np.testing.assert_allclose(chunked, full, rtol=1e-9)
+
+    def test_invalid_chunk_size(self):
+        from repro.predict.gp import GaussianProcessRegressor
+
+        samples = collect_samples(10, seed=4, **SMALL)
+        gp = GaussianProcessRegressor(optimise=False)
+        gp.fit(samples.x, samples.energy_mj)
+        with pytest.raises(ValueError):
+            gp.predict_batch(samples.x, chunk_size=0)
+
+
+class TestBatchEvaluatorParity:
+    def test_matches_fast_evaluator(self, fast_evaluator):
+        batch = BatchEvaluator(fast_evaluator)
+        points = random_points(16, seed=5)
+        batched = batch.evaluate_many(points)
+        for point, b in zip(points, batched):
+            s = fast_evaluator.evaluate(point)
+            assert b.accuracy == s.accuracy  # same hypernet call, cached
+            assert b.latency_ms == pytest.approx(s.latency_ms, rel=1e-9)
+            assert b.energy_mj == pytest.approx(s.energy_mj, rel=1e-9)
+
+    def test_scalar_entry_point(self, fast_evaluator):
+        batch = BatchEvaluator(fast_evaluator)
+        point = random_points(1, seed=6)[0]
+        assert batch.evaluate(point) == batch.evaluate_many([point])[0]
+
+    def test_evaluate_tokens_matches_points(self, fast_evaluator):
+        batch = BatchEvaluator(fast_evaluator)
+        points = random_points(6, seed=7)
+        by_points = batch.evaluate_many(points)
+        by_tokens = batch.evaluate_tokens([encode(p) for p in points])
+        assert all(a is b for a, b in zip(by_points, by_tokens))
+
+
+class TestBatchEvaluatorCache:
+    def test_repeat_batch_hits(self, fast_evaluator):
+        batch = BatchEvaluator(fast_evaluator)
+        points = random_points(8, seed=8)
+        first = batch.evaluate_many(points)
+        assert batch.misses == 8 and batch.hits == 0
+        second = batch.evaluate_many(points)
+        assert batch.hits == 8
+        assert all(a is b for a, b in zip(first, second))
+        assert batch.hit_rate == pytest.approx(0.5)
+
+    def test_duplicates_within_batch_counted_once(self, fast_evaluator):
+        batch = BatchEvaluator(fast_evaluator)
+        point = random_points(1, seed=9)[0]
+        results = batch.evaluate_many([point, point, point])
+        assert results[0] is results[1] is results[2]
+        # One materialisation serves all three lookups: one miss, two hits.
+        assert batch.misses == 1 and batch.hits == 2
+        assert len(batch._lru) == 1
+
+    def test_batch_larger_than_cache_still_returns_all(self, fast_evaluator):
+        """A batch with more unique candidates than cache_size must not
+        lose results to mid-batch eviction."""
+        batch = BatchEvaluator(fast_evaluator, cache_size=2)
+        points = random_points(5, seed=12)
+        results = batch.evaluate_many(points)
+        assert len(results) == 5
+        for point, result in zip(points, results):
+            scalar = fast_evaluator.evaluate(point)
+            assert result.energy_mj == pytest.approx(scalar.energy_mj, rel=1e-9)
+        assert len(batch._lru) == 2  # cache stayed bounded
+
+    def test_off_grid_config_falls_back_gracefully(self, fast_evaluator):
+        """A valid config off the Table 1 token grids must still evaluate
+        (FastEvaluator handles it, so the drop-in batch path must too)."""
+        from repro.accel.config import AcceleratorConfig
+
+        batch = BatchEvaluator(fast_evaluator)
+        rng = np.random.default_rng(13)
+        point = CoDesignPoint(
+            genotype=DnnSpace().sample(rng),
+            config=AcceleratorConfig(10, 10, 300, 200, "OS"),
+        )
+        result = batch.evaluate(point)
+        scalar = fast_evaluator.evaluate(point)
+        assert result.energy_mj == pytest.approx(scalar.energy_mj, rel=1e-9)
+        assert batch.evaluate(point) is result  # cached under the object key
+
+    def test_lru_evicts_least_recent(self, fast_evaluator):
+        batch = BatchEvaluator(fast_evaluator, cache_size=4)
+        points = random_points(6, seed=10)
+        batch.evaluate_many(points[:4])
+        batch.evaluate_many(points[:1])  # refresh point 0
+        batch.evaluate_many(points[4:])  # evicts points 1 and 2
+        keys = list(batch._lru)
+        assert tuple(encode(points[0])) in keys
+        assert tuple(encode(points[1])) not in keys
+        assert len(batch._lru) == 4
+
+    def test_accuracy_shared_across_hw_variants(self, fast_evaluator):
+        """Re-pairing a genotype with new hardware reuses its accuracy."""
+        batch = BatchEvaluator(fast_evaluator)
+        rng = np.random.default_rng(11)
+        genotype = DnnSpace().sample(rng)
+        variants = [
+            CoDesignPoint(genotype=genotype, config=random_config(rng))
+            for _ in range(5)
+        ]
+        results = batch.evaluate_many(variants)
+        assert len({r.accuracy for r in results}) == 1
+        assert len(batch._acc_lru) == 1
+
+    def test_rejects_bad_cache_size(self, fast_evaluator):
+        with pytest.raises(ValueError):
+            BatchEvaluator(fast_evaluator, cache_size=0)
+
+
+class TestBatchedSearchParity:
+    def test_random_search_batch_invariant(self, fast_evaluator):
+        """batch_size must not change the random-search trajectory."""
+        shared = BatchEvaluator(fast_evaluator)
+        scalar = RandomSearch(shared.evaluate, BALANCED, seed=3).run(10)
+        batched = RandomSearch(
+            shared.evaluate,
+            BALANCED,
+            seed=3,
+            batch_size=4,
+            evaluate_batch=shared.evaluate_many,
+        ).run(10)
+        assert [s.tokens for s in scalar.samples] == [
+            s.tokens for s in batched.samples
+        ]
+        assert scalar.rewards() == pytest.approx(batched.rewards())
+
+    def test_reinforce_batch_eval_invariant(self, fast_evaluator):
+        """Batched scoring must not change the RL trajectory or gradients."""
+        from repro.search.controller import Controller
+
+        shared = BatchEvaluator(fast_evaluator)
+        plain = ReinforceSearch(
+            Controller(seed=4), shared.evaluate, BALANCED, batch_episodes=2, seed=4
+        ).run(8)
+        batched = ReinforceSearch(
+            Controller(seed=4),
+            shared.evaluate,
+            BALANCED,
+            batch_episodes=2,
+            seed=4,
+            evaluate_batch=shared.evaluate_many,
+        ).run(8)
+        assert [s.tokens for s in plain.samples] == [s.tokens for s in batched.samples]
+        assert plain.rewards() == pytest.approx(batched.rewards())
+
+    def test_evolution_batch_runs_and_fills_population(self, fast_evaluator):
+        from repro.search.evolution import EvolutionSearch
+
+        shared = BatchEvaluator(fast_evaluator)
+        search = EvolutionSearch(
+            shared.evaluate,
+            BALANCED,
+            population_size=6,
+            tournament_size=2,
+            seed=5,
+            batch_size=3,
+            evaluate_batch=shared.evaluate_many,
+        )
+        history = search.run(12)
+        assert len(history) == 12
+        assert len(search._population) == 6
+
+    def test_bayesopt_batch_runs(self, fast_evaluator):
+        from repro.search.bayesopt import BayesianOptSearch
+
+        shared = BatchEvaluator(fast_evaluator)
+        history = BayesianOptSearch(
+            shared.evaluate,
+            BALANCED,
+            n_initial=4,
+            pool_size=8,
+            seed=6,
+            feature_kwargs=SMALL,
+            batch_size=3,
+            evaluate_batch=shared.evaluate_many,
+        ).run(9)
+        assert len(history) == 9

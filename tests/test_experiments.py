@@ -27,8 +27,8 @@ from repro.scale import SMOKE
 
 
 @pytest.fixture(scope="module")
-def ctx():
-    return get_context("smoke", 0)
+def ctx(smoke_context):
+    return smoke_context
 
 
 class TestContext:

@@ -1,17 +1,23 @@
-"""Tests for the one-shot report generator."""
+"""Tests for the one-shot report generator.
+
+The full report regenerates every experiment, so this module is one of the
+heaviest in the tier-1 suite: it shares the session-scoped smoke context
+(one HyperNet training for the whole run) and generates the module-scoped
+report once for all structural assertions.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments import get_context
 from repro.experiments.report import generate_report, main
+
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")
-def report():
-    context = get_context("smoke", 0)
-    return generate_report("smoke", 0, context=context, iterations=8,
+def report(smoke_context):
+    return generate_report("smoke", 0, context=smoke_context, iterations=8,
                            correlation_models=2)
 
 
@@ -33,7 +39,7 @@ class TestGenerateReport:
         assert report.startswith("# YOSO reproduction report")
         assert report.count("## ") >= 7
 
-    def test_cli_writes_file(self, tmp_path, capsys):
+    def test_cli_writes_file(self, tmp_path, capsys, smoke_context):
         out = tmp_path / "report.md"
         code = main(["--scale", "smoke", "--iterations", "6", "--output", str(out)])
         assert code == 0

@@ -88,31 +88,33 @@ class TestCli:
         assert "800" in out
         assert "44 tokens" in out
 
+    @pytest.mark.slow
     def test_run_command_smoke(self, capsys):
         assert main(["run", "--scale", "smoke", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "final co-design" in out
         assert "composite reward" in out
 
-    def test_fig4_command_smoke(self, capsys):
+    def test_fig4_command_smoke(self, capsys, smoke_context):
         assert main(["fig4", "--scale", "smoke"]) == 0
         out = capsys.readouterr().out
         assert "gaussian_process" in out
 
-    def test_fig5_command_smoke(self, capsys):
+    def test_fig5_command_smoke(self, capsys, smoke_context):
         assert main(["fig5", "--scale", "smoke", "--models", "3"]) == 0
         out = capsys.readouterr().out
         assert "Fig 5(a)" in out and "Fig 5(b)" in out
         assert "spearman" in out
 
-    def test_fig6_command_smoke(self, capsys):
+    def test_fig6_command_smoke(self, capsys, smoke_context):
         assert main(["fig6", "--scale", "smoke", "--iterations", "10"]) == 0
         out = capsys.readouterr().out
         assert "Fig 6(a)" in out
         assert "Pareto" in out
         assert "distance to front by phase" in out
 
-    def test_table2_command_smoke(self, capsys):
+    @pytest.mark.slow
+    def test_table2_command_smoke(self, capsys, smoke_context):
         assert main(["table2", "--scale", "smoke", "--iterations", "8"]) == 0
         out = capsys.readouterr().out
         assert "Yoso_eer" in out and "Fig7" in out
