@@ -26,7 +26,7 @@ that factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from .config import AcceleratorConfig, Dataflow
 from .energy import EnergyModel
 from .mapper import _GBUF_USABLE, _NC, _NK, _NS
 from .workload import _POOL_OP_COST, WORD_BYTES, LayerWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (noc is optional)
+    from .noc import NocModel
 
 __all__ = ["BatchSimResult", "flatten_workloads", "simulate_flat"]
 
@@ -313,8 +316,20 @@ def simulate_flat(
     workload_lists: Sequence[Sequence[LayerWorkload]],
     configs: Sequence[AcceleratorConfig],
     energy_model: EnergyModel,
+    noc_model: "NocModel | None" = None,
 ) -> BatchSimResult:
-    """Simulate ``B`` (layers, config) points with one pass of array math."""
+    """Simulate ``B`` (layers, config) points with one pass of array math.
+
+    ``workload_lists`` holds one layer list per point (``len == len(configs)``;
+    lists may be ragged — points need not share a layer count).  Passing a
+    ``noc_model`` adds the array-interconnect energy term as vectorised
+    array math (:meth:`repro.accel.noc.NocModel.energy_pj_arrays`), matching
+    ``SystolicArraySimulator(include_noc=True)`` to round-off — NoC-aware
+    sweeps run at full batch speed, not through a scalar fallback.
+    Returns per-point aggregate arrays of length ``B``
+    (:class:`BatchSimResult`); parity with the scalar simulator is pinned
+    at relative 1e-9 by the test suite.
+    """
     if len(workload_lists) != len(configs):
         raise ValueError(
             f"{len(workload_lists)} workload lists but {len(configs)} configs"
@@ -367,6 +382,17 @@ def simulate_flat(
         + (dram_bytes / WORD_BYTES) * em.dram_pj
         + leak_pt[rep] * cycles
     )
+    if noc_model is not None:
+        energy_pj = energy_pj + noc_model.energy_pj_arrays(
+            macs=macs,
+            has_weights=shapes["weight_bytes"] > 0,
+            ifmap_reuse=mapping["ifmap_reuse"],
+            weight_reuse=mapping["weight_reuse"],
+            psum_reuse=mapping["psum_reuse"],
+            pe_rows=pe_rows_pt[rep],
+            pe_cols=pe_cols_pt[rep],
+            flow_codes=flow_pt[rep],
+        )
 
     cycles_total = np.add.reduceat(cycles, flat.starts)
     energy_total = np.add.reduceat(energy_pj, flat.starts)

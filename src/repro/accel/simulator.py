@@ -241,12 +241,13 @@ class SystolicArraySimulator:
 
         ``workloads`` is either one layer list — broadcast across every
         configuration, the two-stage enumeration pattern — or one layer
-        list per configuration.  Results match :meth:`simulate_network` to
-        floating-point round-off; only per-point aggregates are returned
+        list per configuration (ragged lists are fine).  Results match
+        :meth:`simulate_network` to floating-point round-off, including
+        with ``include_noc=True``: the NoC hop/energy model is evaluated
+        as vectorised array math inside the batch engine, so NoC-aware
+        sweeps enjoy the same speedup as the baseline model.  Only
+        per-point aggregates are returned
         (see :class:`~repro.accel.batch.BatchSimResult`).
-
-        With ``include_noc=True`` the NoC energy term is layer-object
-        based, so this path falls back to the scalar loop.
         """
         configs = list(configs)
         if not configs:
@@ -259,18 +260,12 @@ class SystolicArraySimulator:
             raise ValueError(
                 f"{len(workload_lists)} workload lists but {len(configs)} configs"
             )
-        if self.include_noc and self.noc_model is not None:
-            reports = [
-                self.simulate_network(list(layers), config)
-                for layers, config in zip(workload_lists, configs)
-            ]
-            return BatchSimResult(
-                latency_ms=np.array([r.latency_ms for r in reports]),
-                energy_mj=np.array([r.energy_mj for r in reports]),
-                total_macs=np.array([r.total_macs for r in reports]),
-                total_dram_bytes=np.array([r.total_dram_bytes for r in reports]),
-            )
-        return simulate_flat(workload_lists, configs, self.energy_model)
+        return simulate_flat(
+            workload_lists,
+            configs,
+            self.energy_model,
+            noc_model=self.noc_model if self.include_noc else None,
+        )
 
     # ------------------------------------------------------------------
     def simulate_genotypes(

@@ -75,34 +75,42 @@ def run_search_strategy_ablation(
         stem_channels=context.scale.hypernet_channels,
         image_size=context.scale.image_size,
     )
+    # All strategies score through the shared BatchEvaluator (batched
+    # GP/HyperNet on misses, LRU on repeats); trajectories are unchanged —
+    # the batch parity tests pin batched scoring to the scalar path.
+    evaluator = context.batch_evaluator
     rl = ReinforceSearch(
         Controller(seed=seed + 31),
-        context.fast_evaluator.evaluate,
+        evaluator.evaluate,
         spec,
         lr=search_lr(context, None),
         seed=seed + 31,
+        evaluate_batch=evaluator.evaluate_many,
     ).run(n)
     random = RandomSearch(
-        context.fast_evaluator.evaluate, spec, seed=seed + 32
+        evaluator.evaluate, spec, seed=seed + 32,
+        evaluate_batch=evaluator.evaluate_many,
     ).run(n)
     bayes = BayesianOptSearch(
-        context.fast_evaluator.evaluate,
+        evaluator.evaluate,
         spec,
         n_initial=max(5, n // 10),
         pool_size=48,
         refit_every=5,
         seed=seed + 33,
         feature_kwargs=feature_kwargs,
+        evaluate_batch=evaluator.evaluate_many,
     ).run(n)
     evolution = EvolutionSearch(
-        context.fast_evaluator.evaluate,
+        evaluator.evaluate,
         spec,
         population_size=max(4, n // 10),
         tournament_size=max(2, n // 40),
         seed=seed + 34,
+        evaluate_batch=evaluator.evaluate_many,
     ).run(n)
     bandit = BanditSearch(
-        context.fast_evaluator.evaluate, spec, seed=seed + 35
+        evaluator.evaluate, spec, seed=seed + 35
     ).run(n)
     return SearchStrategyAblation(
         rl=rl, random=random, bayesopt=bayes, evolution=evolution,

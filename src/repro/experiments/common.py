@@ -25,7 +25,7 @@ from ..nas.space import DnnSpace
 from ..nn.data import SyntheticCifar
 from ..predict.dataset import PerfDataset, collect_samples
 from ..scale import ExperimentScale, get_scale
-from ..search.evaluator import FastEvaluator
+from ..search.evaluator import BatchEvaluator, FastEvaluator
 from ..search.reward import PAPER_T_EER_MJ, PAPER_T_LAT_MS, RewardSpec
 
 __all__ = [
@@ -50,6 +50,7 @@ class ExperimentContext:
     hypernet_history: list[EpochStats]
     samples: PerfDataset
     fast_evaluator: FastEvaluator
+    batch_evaluator: BatchEvaluator
     t_lat_ms: float
     t_eer_mj: float
 
@@ -160,6 +161,10 @@ def get_context(scale_name: str = "demo", seed: int = 0) -> ExperimentContext:
         hypernet_history=trainer.history,
         samples=samples,
         fast_evaluator=fast_evaluator,
+        # One shared batched scorer (LRU + batched GP + batched HyperNet
+        # accuracy) so every experiment harness — and the report CLI's
+        # efficiency table — sees the same hits/misses accounting.
+        batch_evaluator=BatchEvaluator(fast_evaluator),
         t_lat_ms=t_lat,
         t_eer_mj=t_eer,
     )

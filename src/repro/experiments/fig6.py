@@ -126,12 +126,19 @@ def run_fig6a(
     n = iterations if iterations is not None else context.scale.search_iterations
     spec = scaled_reward(BALANCED, context)
     controller = Controller(seed=seed)
+    # Score through the shared BatchEvaluator: identical trajectories (the
+    # parity tests pin batched == scalar scoring), but candidate repeats
+    # hit the LRU and cold misses use the batched GP/HyperNet paths — the
+    # report CLI surfaces the resulting hit rates per stage.
+    evaluator = context.batch_evaluator
     rl = ReinforceSearch(
-        controller, context.fast_evaluator.evaluate, spec,
+        controller, evaluator.evaluate, spec,
         lr=search_lr(context, lr), seed=seed,
+        evaluate_batch=evaluator.evaluate_many,
     ).run(n)
     random = RandomSearch(
-        context.fast_evaluator.evaluate, spec, seed=seed + 1
+        evaluator.evaluate, spec, seed=seed + 1,
+        evaluate_batch=evaluator.evaluate_many,
     ).run(n)
     return Fig6aResult(rl=rl, random=random, subsample=10)
 
@@ -190,8 +197,9 @@ def run_fig6_tradeoff(
     spec = scaled_reward(preset, context)
     controller = Controller(seed=seed + 2)
     history = ReinforceSearch(
-        controller, context.fast_evaluator.evaluate, spec,
+        controller, context.batch_evaluator.evaluate, spec,
         lr=search_lr(context, lr), seed=seed + 2,
+        evaluate_batch=context.batch_evaluator.evaluate_many,
     ).run(n)
     return Fig6TradeoffResult(
         history=history,

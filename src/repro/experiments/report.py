@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from typing import Callable
 
 from .ablation import STRATEGIES, run_search_strategy_ablation
 from .common import ExperimentContext, format_table, get_context
@@ -28,15 +30,39 @@ def generate_report(
     iterations: int | None = None,
     correlation_models: int | None = None,
 ) -> str:
-    """Run every experiment and return the combined markdown report."""
+    """Run every experiment and return the combined markdown report.
+
+    Besides the paper artefacts, the report ends with an **evaluator
+    efficiency** section: wall-clock seconds per stage plus the shared
+    :class:`~repro.search.evaluator.BatchEvaluator` cache accounting
+    (lookups / hits / hit-rate per stage, cumulative hit rate overall) —
+    see EXPERIMENTS.md for how to read the columns.
+    """
     context = context or get_context(scale_name, seed)
     scale = context.scale
+    evaluator = context.batch_evaluator
     n_iter = iterations if iterations is not None else scale.search_iterations
     n_corr = (
         correlation_models
         if correlation_models is not None
         else scale.correlation_models
     )
+    stage_rows: list[list[str]] = []
+
+    def staged(name: str, fn: Callable):
+        """Run one report stage, recording duration and cache deltas."""
+        hits0, misses0 = evaluator.hits, evaluator.misses
+        t0 = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - t0
+        hits = evaluator.hits - hits0
+        lookups = hits + evaluator.misses - misses0
+        rate = f"{100.0 * hits / lookups:.1f}%" if lookups else "-"
+        stage_rows.append(
+            [name, f"{seconds:.2f}", str(lookups), str(hits), rate]
+        )
+        return result
+
     parts: list[str] = [
         f"# YOSO reproduction report — scale `{scale.name}`, seed {seed}",
         "",
@@ -45,38 +71,51 @@ def generate_report(
     ]
 
     # Fig. 4.
-    fig4 = run_fig4(scale_name, seed=seed)
+    fig4 = staged("fig4", lambda: run_fig4(scale_name, seed=seed))
     parts += ["", "## Fig. 4 — performance-predictor comparison", "",
               "```", fig4.to_text(), "```",
               f"Best energy predictor: **{fig4.best('energy').model}**; "
               f"best latency predictor: **{fig4.best('latency').model}**."]
 
     # Fig. 5.
-    fig5a = run_fig5a(scale_name, seed)
+    fig5a = staged("fig5a", lambda: run_fig5a(scale_name, seed))
     parts += ["", "## Fig. 5(a) — HyperNet training", "",
               "epoch accuracies: "
               + ", ".join(f"{a:.3f}" for a in fig5a.accuracy)]
-    fig5b = run_fig5b(scale_name, seed, context=context, n_models=n_corr)
+    fig5b = staged(
+        "fig5b",
+        lambda: run_fig5b(scale_name, seed, context=context, n_models=n_corr),
+    )
     parts += ["", "## Fig. 5(b) — inherited vs stand-alone accuracy", "",
               f"pearson r = {fig5b.pearson_r:.3f}, "
               f"spearman rho = {fig5b.spearman_rho:.3f} over {n_corr} models"]
 
     # Fig. 6.
-    fig6a = run_fig6a(scale_name, seed, context=context, iterations=n_iter)
+    fig6a = staged(
+        "fig6a",
+        lambda: run_fig6a(scale_name, seed, context=context, iterations=n_iter),
+    )
     parts += ["", "## Fig. 6(a) — RL vs random search", "",
               f"RL: best {fig6a.rl_best:.4f}, tail-mean {fig6a.rl_tail_mean():.4f}; "
               f"random: best {fig6a.random_best:.4f}, "
               f"tail-mean {fig6a.random_tail_mean():.4f}"]
     for which, label in (("energy", "Fig. 6(b)"), ("latency", "Fig. 6(c)")):
-        tr = run_fig6_tradeoff(which, scale_name, seed, context=context,
-                               iterations=n_iter)
+        tr = staged(
+            f"fig6-{which}",
+            lambda which=which: run_fig6_tradeoff(
+                which, scale_name, seed, context=context, iterations=n_iter
+            ),
+        )
         distances = tr.front_distance_by_phase()
         parts += ["", f"## {label} — accuracy-{which} trade-off", "",
                   "distance to Pareto front by phase: "
                   + " -> ".join(f"{d:.4f}" for d in distances)]
 
     # Table 2 / Fig. 7.
-    table2 = run_table2(scale_name, seed, context=context, iterations=n_iter)
+    table2 = staged(
+        "table2",
+        lambda: run_table2(scale_name, seed, context=context, iterations=n_iter),
+    )
     parts += ["", "## Table 2 / Fig. 7 — two-stage comparison", "",
               "```", table2.to_text(), "```",
               f"executed two-stage / Yoso_eer energy ratio: "
@@ -84,14 +123,32 @@ def generate_report(
               f"latency ratio: {table2.nas_latency_ratio():.2f}x"]
 
     # Search-strategy ablation.
-    ablation = run_search_strategy_ablation(scale_name, seed, context=context,
-                                            iterations=max(10, n_iter // 2))
+    ablation = staged(
+        "ablation",
+        lambda: run_search_strategy_ablation(
+            scale_name, seed, context=context, iterations=max(10, n_iter // 2)
+        ),
+    )
     rows = [
         [which, f"{ablation.best(which):.4f}", f"{ablation.tail_mean(which):.4f}"]
         for which in STRATEGIES
     ]
     parts += ["", "## Search-strategy ablation", "", "```",
               format_table(["strategy", "best", "tail-mean"], rows), "```"]
+
+    # Evaluator efficiency (ROADMAP item: surface hit_rate + durations).
+    total = evaluator.hits + evaluator.misses
+    parts += ["", "## Evaluator efficiency", "",
+              f"BatchEvaluator cumulative hit rate: "
+              f"{100.0 * evaluator.hit_rate:.1f}% "
+              f"({evaluator.hits} hits / {total} lookups; "
+              f"cache size {evaluator.cache_size})",
+              "", "```",
+              format_table(
+                  ["stage", "seconds", "lookups", "hits", "hit-rate"],
+                  stage_rows,
+              ),
+              "```"]
     return "\n".join(parts) + "\n"
 
 

@@ -25,10 +25,12 @@ Implementation notes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..accel.workload import reduction_positions
+from ..nn.infer import forward_infer
 from ..nn.layers import (
     BatchNorm2d,
     Conv2d,
@@ -108,6 +110,170 @@ class MixedCell(Module):
 
     def __call__(self, s0: np.ndarray, s1: np.ndarray, spec: CellGenotype) -> np.ndarray:  # type: ignore[override]
         return self.forward(s0, s1, spec)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_grouped(
+        modules: dict[int, Module],
+        inputs: list[np.ndarray],
+        input_ids: Sequence[object],
+    ) -> np.ndarray:
+        """Apply the width-keyed preprocessing to every path's input at once.
+
+        ``inputs`` holds one ``(b, C_g, h, w)`` tensor per path (widths may
+        differ); ``input_ids`` are hashable identity tokens — paths whose
+        tokens are equal are guaranteed to hold identical tensors, so their
+        preprocessing is computed ONCE and the result shared.  Distinct
+        inputs of the same width are stacked and run through their
+        preprocessing variant in one call with per-path batch statistics.
+        Returns the stacked ``(G * b, channels, h', w')`` result in path
+        order.
+        """
+        b = inputs[0].shape[0]
+        by_width: dict[int, dict[object, list[int]]] = {}
+        for g, x in enumerate(inputs):
+            by_width.setdefault(x.shape[1], {}).setdefault(
+                input_ids[g], []
+            ).append(g)
+        out: np.ndarray | None = None
+        for width, by_id in sorted(by_width.items()):
+            reps = [members[0] for members in by_id.values()]
+            stacked = (
+                [inputs[g] for g in reps] if len(reps) > 1 else inputs[reps[0]]
+            )
+            y = forward_infer(modules[width], stacked, segments=len(reps))
+            if out is None:
+                out = np.empty(
+                    (len(inputs) * b, *y.shape[1:]), dtype=y.dtype
+                )
+            for j, members in enumerate(by_id.values()):
+                seg = y[j * b : (j + 1) * b]
+                for g in members:
+                    out[g * b : (g + 1) * b] = seg
+        assert out is not None
+        return out
+
+    def forward_many(
+        self,
+        s0_list: list[np.ndarray],
+        s1_list: list[np.ndarray],
+        specs: Sequence[CellGenotype],
+        s0_ids: Sequence[object] | None = None,
+        s1_ids: Sequence[object] | None = None,
+    ) -> list[np.ndarray]:
+        """Forward ``G`` sub-model paths through the cell in grouped calls.
+
+        Inputs are one ``(b, C, h, w)`` tensor per path; the return value is
+        one cell-output tensor per path (channel widths vary with each
+        spec's loose ends).  Edges are grouped by their ``(predecessor,
+        op)`` choice, so each candidate-op module runs once per cell over
+        the stacked rows of every path that selected it, instead of once
+        per path.  ``s0_ids`` / ``s1_ids`` are optional hashable identity
+        tokens for the inputs (equal token == identical tensor): paths that
+        agree on an edge's op AND its input compute that edge once and
+        share the result — on the first cell, where every path sees the
+        same stem activation, a whole population collapses to one segment
+        per distinct ``(predecessor, op)`` choice.  Without tokens every
+        path is treated as distinct.
+
+        Batch-norm statistics stay per-path (segmented batch norm inside
+        :func:`~repro.nn.infer.forward_infer`), which pins grouped outputs
+        to the scalar :meth:`forward` results at floating-point round-off.
+        Forward-only: never call :meth:`backward` after it.
+        """
+        if not (len(s0_list) == len(s1_list) == len(specs)):
+            raise ValueError("s0, s1 and specs must have equal lengths")
+        b = s0_list[0].shape[0]
+        num_paths = len(specs)
+        if s0_ids is None:
+            s0_ids = list(range(num_paths))
+        if s1_ids is None:
+            s1_ids = list(range(num_paths))
+        states: list[np.ndarray] = [
+            self._run_grouped(self.preprocess0, s0_list, s0_ids),
+            self._run_grouped(self.preprocess1, s1_list, s1_ids),
+        ]
+        # Identity tokens per state: preprocessing is deterministic, so a
+        # state's identity is its input's identity; computed nodes derive
+        # theirs from their two (input identity, op) pairs.
+        toks: list[list[object]] = [list(s0_ids), list(s1_ids)]
+        for offset in range(len(specs[0].nodes)):
+            node_idx = offset + 2
+            # Both edge slots of every path, grouped by (predecessor, op)
+            # and sub-grouped by input identity; a path picking the same
+            # pair twice contributes twice (the scalar path also runs the
+            # op twice and sums).
+            edges: dict[tuple[int, str], dict[object, list[int]]] = {}
+            node_toks: list[object] = []
+            for g, spec in enumerate(specs):
+                node = spec.nodes[offset]
+                for pred, op_name in (
+                    (node.input1, node.op1),
+                    (node.input2, node.op2),
+                ):
+                    edges.setdefault((pred, op_name), {}).setdefault(
+                        toks[pred][g], []
+                    ).append(g)
+                # The predecessor INDEX is part of the identity: the edge
+                # module (and its stride) is keyed by it, so two paths
+                # reading equal tensors from different predecessors still
+                # run different weights.
+                node_toks.append(
+                    (
+                        node.input1,
+                        toks[node.input1][g],
+                        node.op1,
+                        node.input2,
+                        toks[node.input2][g],
+                        node.op2,
+                    )
+                )
+            acc: np.ndarray | None = None
+            # First contribution per path is written, the second added —
+            # every node has exactly two edge slots, so no zero-fill pass.
+            written = [False] * num_paths
+            for (pred, op_name), by_id in sorted(edges.items()):
+                op = self.edge_ops[(node_idx, pred, op_name)]
+                src = states[pred]
+                reps = [members[0] for members in by_id.values()]
+                # Row-block lists let the op's first kernel fuse the
+                # gather into its padding/ReLU pass (no concatenate).
+                stacked = (
+                    [src[g * b : (g + 1) * b] for g in reps]
+                    if len(reps) > 1
+                    else src[reps[0] * b : (reps[0] + 1) * b]
+                )
+                out = forward_infer(op, stacked, segments=len(reps))
+                if acc is None:
+                    acc = np.empty(
+                        (num_paths * b, *out.shape[1:]), dtype=out.dtype
+                    )
+                for j, members in enumerate(by_id.values()):
+                    seg = out[j * b : (j + 1) * b]
+                    for g in members:
+                        if written[g]:
+                            acc[g * b : (g + 1) * b] += seg
+                        else:
+                            acc[g * b : (g + 1) * b] = seg
+                            written[g] = True
+            assert acc is not None and all(written)
+            states.append(acc)
+            toks.append(node_toks)
+        # Cell outputs, deduplicated on identity: paths whose loose-end
+        # states are all identical share one concatenated array object.
+        outputs: dict[tuple, np.ndarray] = {}
+        result: list[np.ndarray] = []
+        for g, spec in enumerate(specs):
+            loose = spec.loose_ends()
+            key = tuple((i, toks[i][g]) for i in loose)
+            out = outputs.get(key)
+            if out is None:
+                out = np.concatenate(
+                    [states[i][g * b : (g + 1) * b] for i in loose], axis=1
+                )
+                outputs[key] = out
+            result.append(out)
+        return result
 
     def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # type: ignore[override]
         if self._spec is None or self._active is None or self._pre is None:
@@ -212,6 +378,80 @@ class HyperNet(Module):
         return self.stem.backward(grads[0] + grads[1])
 
     # ------------------------------------------------------------------
+    def _forward_cells_many(
+        self, stem: np.ndarray, genotypes: Sequence[Genotype]
+    ) -> list[np.ndarray]:
+        """Cells + classifier for ``G`` paths sharing one stem activation.
+
+        Identity tokens start out equal for every path (they all see the
+        stem), so first-cell work is deduplicated across the population;
+        after each cell a path's token is re-interned from (inputs, spec),
+        keeping tokens O(1) in size while preserving the invariant that
+        equal tokens mean identical tensors.
+        """
+        count = len(genotypes)
+        b = stem.shape[0]
+        s0: list[np.ndarray] = [stem] * count
+        s1: list[np.ndarray] = [stem] * count
+        ids0: list[object] = [0] * count
+        ids1: list[object] = [0] * count
+        for cell in self.cells:
+            specs = [
+                g.reduce if cell.reduction else g.normal for g in genotypes
+            ]
+            outs = cell.forward_many(s0, s1, specs, ids0, ids1)
+            interned: dict[tuple, int] = {}
+            out_ids: list[object] = [
+                interned.setdefault((ids0[g], ids1[g], specs[g]), len(interned))
+                for g in range(count)
+            ]
+            s0, s1 = s1, outs
+            ids0, ids1 = ids1, out_ids
+        logits: list[np.ndarray | None] = [None] * count
+        by_width: dict[int, dict[object, list[int]]] = {}
+        for g, out in enumerate(s1):
+            by_width.setdefault(out.shape[1], {}).setdefault(
+                ids1[g], []
+            ).append(g)
+        for width, by_id in sorted(by_width.items()):
+            reps = [members[0] for members in by_id.values()]
+            stacked = (
+                np.concatenate([s1[g] for g in reps])
+                if len(reps) > 1
+                else s1[reps[0]]
+            )
+            # Pooling and the linear classifier are per-sample maths, so
+            # stacking needs no segment scoping.
+            scores = forward_infer(
+                self.classifiers[width], stacked.mean(axis=(2, 3))
+            )
+            for j, members in enumerate(by_id.values()):
+                seg = scores[j * b : (j + 1) * b]
+                for g in members:
+                    logits[g] = seg
+        # Every path must have been classified by its width group — a
+        # silent drop here would credit accuracies to the wrong genotypes.
+        assert all(lg is not None for lg in logits)
+        return logits  # type: ignore[return-value]
+
+    def forward_many(
+        self, x: np.ndarray, genotypes: Sequence[Genotype]
+    ) -> list[np.ndarray]:
+        """Logits of ``G`` sub-models on one image batch, sharing work.
+
+        The stem runs ONCE for the whole batch (it is genotype-independent),
+        each mixed cell runs its candidate ops grouped over the stacked
+        paths that selected them (:meth:`MixedCell.forward_many`), and the
+        classifier runs once per distinct output width.  Returns one
+        ``(len(x), num_classes)`` array per genotype, in input order,
+        matching per-genotype :meth:`forward` calls to floating-point
+        round-off.  Forward-only — do not call :meth:`backward` after it.
+        """
+        if not genotypes:
+            return []
+        return self._forward_cells_many(forward_infer(self.stem, x), genotypes)
+
+    # ------------------------------------------------------------------
     def evaluate(
         self,
         genotype: Genotype,
@@ -231,6 +471,64 @@ class HyperNet(Module):
             logits = self.forward(x, genotype)
             correct += int((logits.argmax(axis=1) == y).sum())
         return correct / len(labels)
+
+    def evaluate_many(
+        self,
+        genotypes: Sequence[Genotype],
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+        genotype_batch: int = 16,
+    ) -> list[float]:
+        """Accuracies of many sub-models in batched forwards (one test run).
+
+        The batched counterpart of :meth:`evaluate`: genotypes are
+        deduplicated on their (normal, reduce) cells, put in a canonical
+        order, and evaluated ``genotype_batch`` at a time per image
+        mini-batch — so a fresh population
+        costs one grouped forward per chunk instead of one full forward
+        per genotype, and the stem activation is computed once per image
+        mini-batch regardless of population size.
+
+        Returns one accuracy per input genotype, in input order.  Each
+        accuracy equals the scalar :meth:`evaluate` result up to
+        floating-point round-off in the logits (ties aside, the argmax —
+        and therefore the accuracy — is identical), and is invariant to
+        the order and multiplicity of the input genotypes: the canonical
+        internal ordering makes the same genotype set bitwise-reproducible
+        in any permutation.
+
+        Like :meth:`evaluate` this uses training-mode batch norm with
+        per-genotype batch statistics (``bn_segments``), and is
+        forward-only.
+        """
+        if genotype_batch < 1:
+            raise ValueError("genotype_batch must be >= 1")
+        unique: dict[tuple, Genotype] = {}
+        for g in genotypes:
+            unique.setdefault((g.normal, g.reduce), g)
+        if not unique:
+            return []
+        # Canonical evaluation order: grouping (and therefore float
+        # summation order) depends only on the SET of genotypes, never on
+        # the caller's ordering — the batch-invariance guarantee.
+        order = sorted(unique, key=repr)
+        correct = {key: 0 for key in order}
+        for start in range(0, len(labels), batch_size):
+            x = images[start : start + batch_size]
+            y = labels[start : start + batch_size]
+            stem = forward_infer(self.stem, x)
+            for lo in range(0, len(order), genotype_batch):
+                chunk = order[lo : lo + genotype_batch]
+                batch_logits = self._forward_cells_many(
+                    stem, [unique[key] for key in chunk]
+                )
+                for key, logits in zip(chunk, batch_logits):
+                    correct[key] += int((logits.argmax(axis=1) == y).sum())
+        total = len(labels)
+        return [
+            correct[(g.normal, g.reduce)] / total for g in genotypes
+        ]
 
 
 @dataclass

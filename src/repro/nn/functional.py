@@ -27,6 +27,11 @@ __all__ = [
     "maxpool2d_backward",
     "avgpool2d_forward",
     "avgpool2d_backward",
+    "conv2d_infer",
+    "depthwise_conv2d_infer",
+    "maxpool2d_infer",
+    "avgpool2d_infer",
+    "batchnorm_infer",
     "relu_forward",
     "relu_backward",
     "batchnorm_forward",
@@ -254,6 +259,311 @@ def avgpool2d_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
     )
 
 
+# ---------------------------------------------------------------------------
+# Forward-only inference kernels
+# ---------------------------------------------------------------------------
+#
+# The training kernels above materialise im2col columns (and argmax indices)
+# because their backward passes need them.  Inference-only consumers — the
+# batched HyperNet evaluation path — can use cheaper algorithms with the
+# same numerics: pooling and depthwise convolution as k*k shifted
+# view-reductions (no column tensor), 1x1 convolution as a plain matmul
+# (its im2col is the identity).  Max pooling is bitwise-identical to the
+# training kernel; average/depthwise accumulate the k*k terms in the same
+# ascending window order, so they agree to float round-off.
+
+
+#: The inference kernels accept either one ``(N, C, H, W)`` array or a
+#: LIST of equally-shaped row blocks: grouped callers (the batched
+#: HyperNet forward) hand over the per-path segments directly and the
+#: kernels fuse the gather into their padding/ReLU pass — no separate
+#: ``np.concatenate`` traversal.
+Rows = "np.ndarray | list[np.ndarray]"
+
+
+def _rows_shape(x) -> tuple[int, int, int, int]:
+    """(N, C, H, W) of an array or list-of-row-blocks input."""
+    if isinstance(x, list):
+        c, h, w = x[0].shape[1:]
+        return sum(p.shape[0] for p in x), c, h, w
+    return x.shape
+
+
+def _stack_rows(parts: list[np.ndarray], relu: bool = False) -> np.ndarray:
+    """One gather pass over row blocks, optionally through ``maximum(., 0)``."""
+    total = sum(p.shape[0] for p in parts)
+    out = np.empty((total, *parts[0].shape[1:]), dtype=parts[0].dtype)
+    lo = 0
+    for p in parts:
+        hi = lo + p.shape[0]
+        if relu:
+            np.maximum(p, 0.0, out=out[lo:hi])
+        else:
+            out[lo:hi] = p
+        lo = hi
+    return out
+
+
+def _pad2d(x, pad: int, value: float = 0.0, relu: bool = False) -> np.ndarray:
+    """Zero-copy when ``pad == 0`` (and no relu); otherwise a padded copy.
+
+    ``relu=True`` fuses ``maximum(x, 0)`` into the padding copy — one pass
+    instead of a separate ReLU allocation (the NAS ops are ReLU→conv, so
+    the fusion applies to every convolution's input).  ``x`` may be a list
+    of row blocks (see :data:`Rows`); the gather then rides the same pass.
+    """
+    if isinstance(x, list):
+        if pad == 0:
+            return _stack_rows(x, relu=relu)
+        n, c, h, w = _rows_shape(x)
+        xp = _empty_padded(n, c, h, w, pad, value, x[0].dtype)
+        lo = 0
+        for p in x:
+            hi = lo + p.shape[0]
+            view = xp[lo:hi, :, pad : pad + h, pad : pad + w]
+            if relu:
+                np.maximum(p, 0.0, out=view)
+            else:
+                view[...] = p
+            lo = hi
+        return xp
+    if pad == 0:
+        return np.maximum(x, 0.0) if relu else x
+    n, c, h, w = x.shape
+    xp = _empty_padded(n, c, h, w, pad, value, x.dtype)
+    if relu:
+        np.maximum(x, 0.0, out=xp[:, :, pad : pad + h, pad : pad + w])
+    else:
+        xp[:, :, pad : pad + h, pad : pad + w] = x
+    return xp
+
+
+def _empty_padded(
+    n: int, c: int, h: int, w: int, pad: int, value: float, dtype
+) -> np.ndarray:
+    """Uninitialised padded buffer with only the border frame filled —
+    the interior is about to be overwritten, so a full fill is wasted."""
+    xp = np.empty((n, c, h + 2 * pad, w + 2 * pad), dtype=dtype)
+    xp[:, :, :pad, :] = value
+    xp[:, :, pad + h :, :] = value
+    xp[:, :, pad : pad + h, :pad] = value
+    xp[:, :, pad : pad + h, pad + w :] = value
+    return xp
+
+
+#: Window-tensor budget (float32 elements) for the chunked inference
+#: convolutions: the K*K sliding-window copy of a whole stacked population
+#: can exceed the last-level cache many times over, where the strided
+#: gather slows down ~4x — chunking the batch axis keeps each copy
+#: cache-sized.  Per-sample maths, so chunking never changes results.
+_INFER_CHUNK_ELEMS = 1_500_000
+
+
+def _window_view(xp: np.ndarray, kernel: int, stride: int, oh: int, ow: int) -> np.ndarray:
+    """Zero-copy ``(N, C, K, K, OH, OW)`` sliding-window view of a padded input."""
+    n, c = xp.shape[:2]
+    sn, sc, sh, sw = xp.strides
+    return np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, kernel, kernel, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+    )
+
+
+def _infer_row_chunk(c: int, kernel: int, oh: int, ow: int) -> int:
+    """Rows per chunk keeping the window tensor under the cache budget."""
+    per_row = c * kernel * kernel * oh * ow
+    return max(1, _INFER_CHUNK_ELEMS // max(per_row, 1))
+
+
+def _pool_row_chunk(c: int, oh: int, ow: int) -> int:
+    """Rows per chunk for the pooling kernels, whose working set is the
+    padded input plus the output — no K*K column blow-up."""
+    per_row = 2 * c * oh * ow
+    return max(1, _INFER_CHUNK_ELEMS // max(per_row, 1))
+
+
+def conv2d_infer(
+    x, weight: np.ndarray, stride: int, pad: int, relu: bool = False
+) -> np.ndarray:
+    """Forward-only convolution; 1x1 kernels skip im2col entirely and larger
+    kernels build the column tensor with one strided-view copy instead of the
+    K*K slice loop (bitwise-identical columns), chunked along the batch axis
+    so the copy stays cache-sized.  ``relu=True`` applies ``maximum(x, 0)``
+    to the input as part of the padding pass (the ReLU→conv fusion); ``x``
+    may be a list of row blocks (:data:`Rows`) gathered in that same pass."""
+    k, c, r, s = weight.shape
+    if r == 1 and pad == 0:
+        if isinstance(x, list):
+            src = _stack_rows(x, relu=relu)
+        else:
+            src = np.maximum(x, 0.0) if relu else x
+        src = src if stride == 1 else src[:, :, ::stride, ::stride]
+        n, _, h, w = src.shape
+        cols = np.ascontiguousarray(src).reshape(n, c, h * w)
+        out = np.empty((n, k, h * w), dtype=cols.dtype)
+        np.matmul(weight.reshape(k, c), cols, out=out)
+        return out.reshape(n, k, h, w)
+    n, _, h, w = _rows_shape(x)
+    oh = conv_out_size(h, r, stride, pad)
+    ow = conv_out_size(w, r, stride, pad)
+    xp = _pad2d(x, pad, relu=relu)
+    w2 = weight.reshape(k, -1)
+    out = np.empty((n, k, oh, ow), dtype=xp.dtype)
+    step = _infer_row_chunk(c, r, oh, ow)
+    for lo in range(0, n, step):
+        win = _window_view(xp[lo : lo + step], r, stride, oh, ow)
+        rows = win.shape[0]
+        cols = np.ascontiguousarray(win).reshape(rows, c * r * r, oh * ow)
+        np.matmul(
+            w2, cols, out=out[lo : lo + step].reshape(rows, k, oh * ow)
+        )
+    return out
+
+
+def depthwise_conv2d_infer(
+    x, weight: np.ndarray, stride: int, pad: int, relu: bool = False
+) -> np.ndarray:
+    """Forward-only depthwise convolution: an einsum over the zero-copy
+    sliding-window view, contracting the K*K window axes per channel,
+    chunked along the batch axis to stay cache-sized.  ``relu=True`` fuses
+    ``maximum(x, 0)`` into the padding pass; ``x`` may be a list of row
+    blocks (:data:`Rows`) gathered in that same pass."""
+    n, c, h, w = _rows_shape(x)
+    cw, r, s = weight.shape
+    if cw != c or r != s:
+        raise ValueError(f"weight shape {weight.shape} incompatible with input (C={c})")
+    oh = conv_out_size(h, r, stride, pad)
+    ow = conv_out_size(w, r, stride, pad)
+    xp = _pad2d(x, pad, relu=relu)
+    out = np.empty((n, c, oh, ow), dtype=xp.dtype)
+    # One (1, KK) x (KK, P) matmul per (row, channel): same contraction an
+    # einsum would run, without re-deriving a contraction path per call.
+    w3 = np.ascontiguousarray(weight.reshape(1, c, 1, r * r))
+    step = _infer_row_chunk(c, r, oh, ow)
+    for lo in range(0, n, step):
+        win = _window_view(xp[lo : lo + step], r, stride, oh, ow)
+        rows = win.shape[0]
+        cols = np.ascontiguousarray(win).reshape(rows, c, r * r, oh * ow)
+        np.matmul(
+            w3, cols, out=out[lo : lo + step].reshape(rows, c, 1, oh * ow)
+        )
+    return out
+
+
+def maxpool2d_infer(x, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Forward-only max pooling, separably: a k*1 column max followed by a
+    1*k row max — 2k shifted passes instead of k*k, bitwise-identical (max
+    is associative/commutative).  Chunked along the batch axis to keep the
+    passes cache-sized."""
+    if isinstance(x, list):
+        x = _stack_rows(x)
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kernel, stride, pad)
+    ow = conv_out_size(w, kernel, stride, pad)
+    out = np.empty((n, c, oh, ow), dtype=x.dtype)
+    step = _pool_row_chunk(c, oh, ow)
+    for lo in range(0, n, step):
+        xp = _pad2d(x[lo : lo + step], pad, value=-np.inf)
+        # Vertical reduction at full width (strided rows only) ...
+        rows = xp[:, :, 0 : stride * oh : stride, :].copy()
+        for ki in range(1, kernel):
+            np.maximum(
+                rows, xp[:, :, ki : ki + stride * oh : stride, :], out=rows
+            )
+        # ... then horizontal reduction of the row maxima.
+        dst = out[lo : lo + step]
+        dst[...] = rows[:, :, :, 0 : stride * ow : stride]
+        for kj in range(1, kernel):
+            np.maximum(
+                dst, rows[:, :, :, kj : kj + stride * ow : stride], out=dst
+            )
+    return out
+
+
+def avgpool2d_infer(x, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Forward-only average pooling, separably: a k*1 column sum followed
+    by a 1*k row sum — 2k shifted passes instead of k*k (the re-associated
+    window sum agrees with the training kernel to float round-off).
+    Chunked along the batch axis to keep the passes cache-sized."""
+    if isinstance(x, list):
+        x = _stack_rows(x)
+    n, c, h, w = x.shape
+    oh = conv_out_size(h, kernel, stride, pad)
+    ow = conv_out_size(w, kernel, stride, pad)
+    out = np.empty((n, c, oh, ow), dtype=x.dtype)
+    step = _pool_row_chunk(c, oh, ow)
+    for lo in range(0, n, step):
+        xp = _pad2d(x[lo : lo + step], pad)
+        rows = xp[:, :, 0 : stride * oh : stride, :].copy()
+        for ki in range(1, kernel):
+            rows += xp[:, :, ki : ki + stride * oh : stride, :]
+        dst = out[lo : lo + step]
+        dst[...] = rows[:, :, :, 0 : stride * ow : stride]
+        for kj in range(1, kernel):
+            dst += rows[:, :, :, kj : kj + stride * ow : stride]
+        dst /= kernel * kernel
+    return out
+
+
+def batchnorm_infer(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    momentum: float,
+    eps: float,
+    training: bool,
+    segments: int = 1,
+) -> np.ndarray:
+    """Forward-only batch norm with per-segment statistics (no cache).
+
+    The lean counterpart of :func:`batchnorm_forward`: one centred
+    temporary feeds both the variance (reduced through einsum, no squared
+    temporary) and the normalisation, and the affine is applied in place.
+    Values match per-segment training-mode forwards to float round-off;
+    running statistics receive one update with the across-segment mean.
+    """
+    if not training:
+        out, _ = batchnorm_forward(
+            x, gamma, beta, running_mean, running_var, momentum, eps, False
+        )
+        return out
+    n, c, h, w = x.shape
+    if n % segments:
+        raise ValueError(f"batch of {n} rows does not split into {segments} segments")
+    rows = n // segments
+    xs = x.reshape(segments, rows, c, h, w)
+    out = np.empty_like(xs)
+    count = rows * h * w
+    gamma32 = gamma.astype(x.dtype)
+    beta32 = beta.astype(x.dtype)[None, None, :, None, None]
+    mean_all = np.empty((segments, c), dtype=x.dtype)
+    var_all = np.empty((segments, c), dtype=x.dtype)
+    # Statistics are per segment, so chunking the segment axis is exact —
+    # it just keeps the centred working set cache-sized.
+    step = max(1, _INFER_CHUNK_ELEMS // max(rows * c * h * w, 1))
+    for lo in range(0, segments, step):
+        sub = xs[lo : lo + step]
+        dst = out[lo : lo + step]
+        mean = sub.mean(axis=(1, 3, 4))  # (chunk, C)
+        np.subtract(
+            sub, mean.astype(x.dtype)[:, None, :, None, None], out=dst
+        )
+        var = np.einsum("snchw,snchw->sc", dst, dst, optimize=True) / count
+        mean_all[lo : lo + step] = mean
+        var_all[lo : lo + step] = var
+        inv_std = (1.0 / np.sqrt(var + eps)).astype(x.dtype)
+        dst *= (inv_std * gamma32[None, :])[:, None, :, None, None]
+        dst += beta32
+    running_mean *= 1.0 - momentum
+    running_mean += momentum * mean_all.mean(axis=0)
+    running_var *= 1.0 - momentum
+    running_var += momentum * var_all.mean(axis=0)
+    return out.reshape(n, c, h, w)
+
+
 def global_avgpool_forward(x: np.ndarray) -> tuple[np.ndarray, tuple]:
     """Global average pool to shape ``(N, C)``."""
     out = x.mean(axis=(2, 3))
@@ -309,12 +619,29 @@ def batchnorm_forward(
     momentum: float,
     eps: float,
     training: bool,
+    segments: int = 1,
 ) -> tuple[np.ndarray, tuple | None]:
     """Batch normalisation over the channel axis of an NCHW tensor.
 
     In training mode the running statistics are updated in place and a cache
     for the backward pass is returned; in eval mode the cache is ``None``.
+
+    ``segments > 1`` (training mode only) treats the batch axis as that many
+    equal-length contiguous sub-batches and normalises each with its own
+    statistics.  This is how the batched HyperNet path stacks several
+    sub-model evaluations into one call while keeping per-sub-model batch
+    statistics identical to separate scalar forwards (round-off aside): the
+    arithmetic per segment is exactly the ``segments == 1`` formula applied
+    to that segment's rows.  The running statistics receive ONE update with
+    the across-segment mean, and the path is forward-only — it returns no
+    backward cache (evaluation never backpropagates).
     """
+    if training and segments > 1:
+        out = batchnorm_infer(
+            x, gamma, beta, running_mean, running_var, momentum, eps, True,
+            segments=segments,
+        )
+        return out, None
     if training:
         mean = x.mean(axis=(0, 2, 3))
         var = x.var(axis=(0, 2, 3))

@@ -7,12 +7,15 @@ at a time (standard for define-by-run training loops).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from . import functional as F
 from .module import Module, Parameter, init_kaiming, init_ones, init_zeros
 
 __all__ = [
+    "bn_segments",
     "Conv2d",
     "DepthwiseConv2d",
     "SeparableConv2d",
@@ -28,6 +31,36 @@ __all__ = [
     "FactorizedReduce",
     "Sequential",
 ]
+
+
+#: Number of contiguous equal-length sub-batches every BatchNorm2d forward
+#: should normalise independently (1 = plain batch norm).  Set via
+#: :func:`bn_segments`; read at call time so the scope nests correctly.
+_BN_SEGMENTS: int = 1
+
+
+@contextmanager
+def bn_segments(segments: int):
+    """Scope under which BatchNorm2d treats the batch axis as ``segments``
+    independent contiguous sub-batches, each normalised with its own
+    training-mode statistics.
+
+    The batched HyperNet forward uses this to stack several sub-model
+    paths into one op call without mixing their batch statistics — see
+    :func:`repro.nn.functional.batchnorm_forward` for the exact semantics
+    (per-segment parity with scalar forwards; forward-only, no backward
+    cache).  Affects training-mode BN only; other layers are per-sample
+    and need no scoping.
+    """
+    global _BN_SEGMENTS
+    if segments < 1:
+        raise ValueError("segments must be >= 1")
+    previous = _BN_SEGMENTS
+    _BN_SEGMENTS = segments
+    try:
+        yield
+    finally:
+        _BN_SEGMENTS = previous
 
 
 class Conv2d(Module):
@@ -139,6 +172,7 @@ class BatchNorm2d(Module):
             self.momentum,
             self.eps,
             self.training,
+            segments=_BN_SEGMENTS,
         )
         return out
 

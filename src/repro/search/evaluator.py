@@ -22,6 +22,7 @@ import numpy as np
 
 from ..accel.simulator import SystolicArraySimulator
 from ..nas.encoding import DNN_TOKENS, CoDesignPoint, decode, encode
+from ..nas.genotype import Genotype
 from ..nas.hypernet import HyperNet
 from ..nas.network import CellNetwork
 from ..nas.train import train_network
@@ -106,6 +107,42 @@ class FastEvaluator:
             **kwargs,
         )
 
+    def evaluate_accuracies(self, genotypes: Sequence[Genotype]) -> list[float]:
+        """Inherited-weights accuracy for a whole population, batched.
+
+        Returns one accuracy per input genotype, in input order.  Cached
+        genotypes are served from the accuracy cache; ALL uncached ones are
+        measured with a single :meth:`~repro.nas.hypernet.HyperNet.evaluate_many`
+        call (grouped cell forwards over the stacked population) instead of
+        one scalar test run each.  Each measured value equals the scalar
+        :meth:`~repro.nas.hypernet.HyperNet.evaluate` result (the batched
+        forward is accuracy-exact up to argmax ties at float round-off —
+        never observed in practice — and batch-order invariant), so mixing
+        scalar and batched calls on one evaluator does not yield
+        conflicting cache entries.
+        """
+        keys = [(g.normal, g.reduce) for g in genotypes]
+        fresh: dict[tuple, Genotype] = {}
+        for key, genotype in zip(keys, genotypes):
+            if key not in self._acc_cache and key not in fresh:
+                fresh[key] = genotype
+        measured: dict[tuple, float] = {}
+        if fresh:
+            accuracies = self.hypernet.evaluate_many(
+                list(fresh.values()),
+                self.val_images,
+                self.val_labels,
+                batch_size=self.eval_batch,
+            )
+            for key, accuracy in zip(fresh, accuracies):
+                measured[key] = accuracy
+                if len(self._acc_cache) < self.cache_size:
+                    self._acc_cache[key] = accuracy
+        return [
+            measured[key] if key in measured else self._acc_cache[key]
+            for key in keys
+        ]
+
     def evaluate(self, point: CoDesignPoint) -> Evaluation:
         """Predict accuracy/latency/energy of one candidate (cached)."""
         geno_key = (point.genotype.normal, point.genotype.reduce)
@@ -150,7 +187,11 @@ class BatchEvaluator:
     * results are cached under the candidate's 44-token action-sequence
       encoding in a true LRU (the fast evaluator's dicts stop inserting
       when full; this one evicts the least recently used entry instead);
-    * accuracy is measured once per *unique genotype* in the batch;
+    * accuracy is measured once per *unique genotype* in the batch, and
+      every accuracy-cache miss in a call is measured by ONE batched
+      HyperNet forward (:meth:`repro.nas.hypernet.HyperNet.evaluate_many`)
+      — a cold-cache population of N fresh architectures costs one grouped
+      call, not N scalar test runs;
     * the genotype-dependent feature prefix is cached per genotype, so a
       converged architecture re-paired with new hardware tokens only pays
       for the cheap hardware feature suffix;
@@ -193,7 +234,17 @@ class BatchEvaluator:
         return self.evaluate_many([point])[0]
 
     def evaluate_many(self, points: Sequence[CoDesignPoint]) -> list[Evaluation]:
-        """Score a batch of co-design points (cached, order-preserving)."""
+        """Score a batch of co-design points (cached, order-preserving).
+
+        Accepts any number of points, including duplicates and mixed
+        on-grid/off-grid configurations; returns one :class:`Evaluation`
+        per input point, in input order.  Duplicates of one candidate
+        within a batch are materialised once and share the same result
+        object.  The evaluations themselves match per-point
+        :meth:`FastEvaluator.evaluate` calls: accuracy exactly (same
+        HyperNet numbers, batched or not), latency/energy to relative
+        1e-9 (batched vs scalar GP prediction).
+        """
         keys = [self._key_of(point) for point in points]
         by_key = {key: point for key, point in zip(keys, points)}
         results = self._materialise(keys, by_key)
@@ -202,7 +253,13 @@ class BatchEvaluator:
     def evaluate_tokens(
         self, token_seqs: Iterable[Sequence[int]]
     ) -> list[Evaluation]:
-        """Score a batch of 44-token sequences; cache hits skip decoding."""
+        """Score a batch of 44-token sequences; cache hits skip decoding.
+
+        Same semantics and parity guarantees as :meth:`evaluate_many`,
+        keyed directly on the 44-token action-sequence encoding so the
+        token-space searches never build :class:`CoDesignPoint` objects
+        for cached candidates.
+        """
         keys = [tuple(tokens) for tokens in token_seqs]
         results = self._materialise(keys, by_key=None)
         return [results[key] for key in keys]
@@ -244,23 +301,37 @@ class BatchEvaluator:
         if not missing:
             return results
         fast = self.fast
+        points = [
+            by_key[key] if by_key is not None else decode(list(key))
+            for key in missing
+        ]
+        geno_keys = [self._geno_key_of(key) for key in missing]
+        # Cold-cache accuracy for the whole batch goes through the fast
+        # evaluator's batched path (ONE grouped HyperNet forward for every
+        # genotype missing from the accuracy LRU — not a scalar test run
+        # per candidate).  A local map pins this batch's values (cached
+        # hits are snapshotted up front) so results survive even when
+        # inserting the fresh ones evicts them from a too-small LRU
+        # mid-batch.
+        fresh: dict[tuple, Genotype] = {}
+        measured: dict[tuple, float] = {}
+        for geno_key, point in zip(geno_keys, points):
+            if geno_key in measured or geno_key in fresh:
+                continue
+            if geno_key in self._acc_lru:
+                measured[geno_key] = self._acc_lru[geno_key]
+                self._acc_lru.move_to_end(geno_key)
+            else:
+                fresh[geno_key] = point.genotype
+        if fresh:
+            batch_acc = fast.evaluate_accuracies(list(fresh.values()))
+            for geno_key, accuracy in zip(fresh, batch_acc):
+                measured[geno_key] = accuracy
+                self._lru_put(self._acc_lru, geno_key, accuracy, self.cache_size)
         accuracies: list[float] = []
         rows: list[np.ndarray] = []
-        for key in missing:
-            point = by_key[key] if by_key is not None else decode(list(key))
-            geno_key = self._geno_key_of(key)
-            accuracy = self._acc_lru.get(geno_key)
-            if accuracy is None:
-                accuracy = fast.hypernet.evaluate(
-                    point.genotype,
-                    fast.val_images,
-                    fast.val_labels,
-                    batch_size=fast.eval_batch,
-                )
-                self._lru_put(self._acc_lru, geno_key, accuracy, self.cache_size)
-            else:
-                self._acc_lru.move_to_end(geno_key)
-            accuracies.append(accuracy)
+        for key, point, geno_key in zip(missing, points, geno_keys):
+            accuracies.append(measured[geno_key])
             geno_feats = self._feat_lru.get(geno_key)
             if geno_feats is None:
                 geno_feats = genotype_features(

@@ -94,14 +94,54 @@ class TestSimulateManyParity:
             assert batch.energy_mj[i] == pytest.approx(report.energy_mj, **TOL)
             assert batch.latency_ms[i] == pytest.approx(report.latency_ms, **TOL)
 
-    def test_include_noc_falls_back_to_scalar(self, genotype):
+    def test_include_noc_batch_parity(self, genotype):
+        """NoC-aware batches run through the vectorised hop/energy model
+        (no scalar fallback) and still match the scalar simulator."""
         noc_sim = SystolicArraySimulator(include_noc=True)
         layers = network_workloads(genotype, **SMALL)
-        configs = list(enumerate_configs())[::200]
+        configs = list(enumerate_configs())[::17]
         batch = noc_sim.simulate_many(layers, configs)
         for i, config in enumerate(configs):
             report = noc_sim.simulate_network(layers, config)
-            assert batch.energy_mj[i] == report.energy_mj
+            assert batch.energy_mj[i] == pytest.approx(report.energy_mj, **TOL)
+            assert batch.latency_ms[i] == pytest.approx(report.latency_ms, **TOL)
+
+    def test_include_noc_every_dataflow(self, genotype):
+        """All four delivery-pattern branches of the vectorised NoC model
+        agree with their scalar counterparts."""
+        from repro.accel.config import AcceleratorConfig
+
+        noc_sim = SystolicArraySimulator(include_noc=True)
+        layers = network_workloads(genotype, **SMALL)
+        configs = [
+            AcceleratorConfig(14, 16, 196, 128, flow)
+            for flow in ("WS", "OS", "RS", "NLR")
+        ]
+        batch = noc_sim.simulate_many(layers, configs)
+        for i, config in enumerate(configs):
+            report = noc_sim.simulate_network(layers, config)
+            assert batch.energy_mj[i] == pytest.approx(report.energy_mj, **TOL)
+
+    def test_include_noc_ragged_batch(self):
+        """Per-point layer lists with NoC enabled match scalar simulation."""
+        noc_sim = SystolicArraySimulator(include_noc=True)
+        points = random_points(12, seed=2)
+        pairs = [(p.genotype, p.config) for p in points]
+        batch = noc_sim.simulate_genotypes(pairs, **SMALL)
+        for i, point in enumerate(points):
+            report = noc_sim.simulate_genotype(point.genotype, point.config, **SMALL)
+            assert batch.energy_mj[i] == pytest.approx(report.energy_mj, **TOL)
+            assert batch.latency_ms[i] == pytest.approx(report.latency_ms, **TOL)
+
+    def test_noc_energy_exceeds_baseline(self, sim, genotype):
+        """Batched NoC energies are strictly above the baseline batch."""
+        noc_sim = SystolicArraySimulator(include_noc=True)
+        layers = network_workloads(genotype, **SMALL)
+        configs = list(enumerate_configs())[::100]
+        base = sim.simulate_many(layers, configs)
+        with_noc = noc_sim.simulate_many(layers, configs)
+        assert np.all(with_noc.energy_mj > base.energy_mj)
+        np.testing.assert_allclose(with_noc.latency_ms, base.latency_ms, rtol=1e-12)
 
     def test_empty_batch_rejected(self, sim, genotype):
         layers = network_workloads(genotype, **SMALL)
@@ -168,6 +208,75 @@ class TestBatchEvaluatorParity:
         by_points = batch.evaluate_many(points)
         by_tokens = batch.evaluate_tokens([encode(p) for p in points])
         assert all(a is b for a, b in zip(by_points, by_tokens))
+
+
+class TestBatchEvaluatorColdCache:
+    def test_fresh_population_one_batched_hypernet_call(self, fast_evaluator):
+        """A cold-cache batch of unique genotypes must trigger exactly ONE
+        batched HyperNet evaluation, never per-candidate scalar runs."""
+        batch = BatchEvaluator(fast_evaluator)
+        points = random_points(12, seed=20)
+        calls = {"many": 0, "scalar": 0}
+        original_many = fast_evaluator.hypernet.evaluate_many
+        original_scalar = fast_evaluator.hypernet.evaluate
+        fast_evaluator.hypernet.evaluate_many = lambda *a, **k: (
+            calls.__setitem__("many", calls["many"] + 1) or original_many(*a, **k)
+        )
+        fast_evaluator.hypernet.evaluate = lambda *a, **k: (
+            calls.__setitem__("scalar", calls["scalar"] + 1)
+            or original_scalar(*a, **k)
+        )
+        try:
+            results = batch.evaluate_many(points)
+        finally:
+            fast_evaluator.hypernet.evaluate_many = original_many
+            fast_evaluator.hypernet.evaluate = original_scalar
+        assert len(results) == 12
+        assert calls == {"many": 1, "scalar": 0}
+
+    def test_accuracies_match_scalar_oracle(self, fast_evaluator):
+        """Batched cold-cache accuracies equal scalar HyperNet.evaluate."""
+        batch = BatchEvaluator(fast_evaluator)
+        points = random_points(8, seed=21)
+        results = batch.evaluate_many(points)
+        for point, result in zip(points, results):
+            oracle = fast_evaluator.hypernet.evaluate(
+                point.genotype,
+                fast_evaluator.val_images,
+                fast_evaluator.val_labels,
+                batch_size=fast_evaluator.eval_batch,
+            )
+            assert result.accuracy == oracle
+
+    def test_fresh_insertions_evicting_cached_accuracies_mid_batch(
+        self, fast_evaluator
+    ):
+        """A batch mixing cached genotypes with more fresh ones than the
+        accuracy LRU can hold must not lose the cached values to
+        mid-batch eviction (regression: KeyError on the evicted key)."""
+        batch = BatchEvaluator(fast_evaluator, cache_size=4)
+        cached_points = random_points(3, seed=23)
+        batch.evaluate_many(cached_points)  # genotypes now in the acc LRU
+        fresh_points = random_points(6, seed=24)
+        repaired = [
+            CoDesignPoint(genotype=p.genotype, config=fresh_points[0].config)
+            for p in cached_points
+        ]
+        results = batch.evaluate_many(repaired + fresh_points)
+        assert len(results) == 9
+        for point, result in zip(repaired, results[:3]):
+            scalar = fast_evaluator.evaluate(point)
+            assert result.accuracy == scalar.accuracy
+
+    def test_evaluate_accuracies_cached_and_ordered(self, fast_evaluator):
+        from repro.nas.space import DnnSpace
+
+        rng = np.random.default_rng(22)
+        genotypes = [DnnSpace().sample(rng) for _ in range(6)]
+        first = fast_evaluator.evaluate_accuracies(genotypes)
+        # Second call is fully cached and order-preserving.
+        second = fast_evaluator.evaluate_accuracies(list(reversed(genotypes)))
+        assert second == list(reversed(first))
 
 
 class TestBatchEvaluatorCache:

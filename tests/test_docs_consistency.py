@@ -1,12 +1,15 @@
 """Documentation/code consistency checks.
 
-Keeps README.md, DESIGN.md and EXPERIMENTS.md honest: every module,
-example and benchmark they reference must exist, and the paper constants
-quoted in prose must match the code.
+Keeps README.md, DESIGN.md, EXPERIMENTS.md and docs/PERFORMANCE.md
+honest: every module, symbol, example and benchmark they reference must
+exist in ``src/``, and the paper constants quoted in prose must match the
+code.  CI runs this file as a dedicated docs-consistency step, so a doc
+referring to a renamed or deleted symbol fails the build.
 """
 
 from __future__ import annotations
 
+import functools
 import os
 import re
 
@@ -14,14 +17,29 @@ import pytest
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+#: Every prose document whose code references are checked against src/.
+DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/PERFORMANCE.md"]
+
 
 def read(name: str) -> str:
     with open(os.path.join(ROOT, name)) as handle:
         return handle.read()
 
 
+@functools.lru_cache(maxsize=1)
+def src_blob() -> str:
+    """Concatenated source of every module under src/ (symbol lookups)."""
+    parts = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(ROOT, "src")):
+        for filename in filenames:
+            if filename.endswith(".py"):
+                with open(os.path.join(dirpath, filename)) as handle:
+                    parts.append(handle.read())
+    return "\n".join(parts)
+
+
 class TestReferencedFilesExist:
-    @pytest.mark.parametrize("doc", ["README.md", "DESIGN.md", "EXPERIMENTS.md"])
+    @pytest.mark.parametrize("doc", DOCS)
     def test_docs_present(self, doc):
         assert os.path.exists(os.path.join(ROOT, doc))
 
@@ -40,19 +58,63 @@ class TestReferencedFilesExist:
         for match in re.findall(r"benchmarks/(test_\w+\.py)", design):
             assert os.path.exists(os.path.join(ROOT, "benchmarks", match)), match
 
-    def test_design_modules_exist(self):
-        design = read("DESIGN.md")
-        for match in set(re.findall(r"`repro\.([a-z_.]+)`", design)):
-            parts = match.split(".")
-            # Accept `repro.pkg.module` or `repro.pkg.module.attribute`.
-            candidates = [parts, parts[:-1]] if len(parts) > 1 else [parts]
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_referenced_repro_modules_exist(self, doc):
+        """Every `repro.*` dotted reference must resolve to a module."""
+        text = read(doc)
+        for match in set(re.findall(r"`repro\.([A-Za-z_.]+)", text)):
+            parts = match.rstrip(".").split(".")
+            # Accept `repro.pkg.module`, `repro.pkg.module.attribute` and
+            # `repro.pkg.module.Class.method` (strip trailing attributes).
             found = False
-            for candidate in candidates:
-                base = os.path.join(ROOT, "src", "repro", *candidate)
+            for depth in range(len(parts), 0, -1):
+                base = os.path.join(ROOT, "src", "repro", *parts[:depth])
                 if os.path.exists(base + ".py") or os.path.isdir(base):
                     found = True
                     break
-            assert found, f"repro.{match} referenced in DESIGN.md but missing"
+            assert found, f"repro.{match} referenced in {doc} but missing"
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_referenced_symbols_exist_in_src(self, doc):
+        """Backticked `Class.method` references must name real symbols."""
+        text = read(doc)
+        blob = src_blob()
+        # Class names must be CamelCase (contain a lowercase letter) so
+        # all-caps file references like `EXPERIMENTS.md` don't match.
+        for cls, attr in set(
+            re.findall(
+                r"`([A-Z][A-Za-z0-9]*[a-z][A-Za-z0-9]*)\.([a-z_][a-z0-9_]*)",
+                text,
+            )
+        ):
+            if attr in {"md", "py", "json", "yml", "toml"}:
+                continue
+            assert f"class {cls}" in blob, (
+                f"{doc} references `{cls}.{attr}` but class {cls} "
+                f"is not defined under src/"
+            )
+            assert (
+                f"def {attr}" in blob
+                or f"{attr} =" in blob
+                or f"{attr}:" in blob
+            ), (
+                f"{doc} references `{cls}.{attr}` but no such attribute "
+                f"appears under src/"
+            )
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_referenced_test_and_benchmark_files_exist(self, doc):
+        """`tests/...py` and `benchmarks/...py` references must exist."""
+        text = read(doc)
+        for rel in set(re.findall(r"((?:tests|benchmarks)/\w+\.py)", text)):
+            assert os.path.exists(os.path.join(ROOT, rel)), (
+                f"{doc} references {rel} which does not exist"
+            )
+
+    def test_performance_doc_crosslinked(self):
+        """README and DESIGN must point readers at docs/PERFORMANCE.md."""
+        assert "docs/PERFORMANCE.md" in read("README.md")
+        assert "docs/PERFORMANCE.md" in read("DESIGN.md")
 
 
 class TestPaperConstantsMatchCode:

@@ -78,6 +78,89 @@ class TestHyperNetForward:
         assert 0.0 <= acc <= 1.0
 
 
+class TestEvaluateMany:
+    """The batched accuracy path must be a drop-in for scalar evaluation."""
+
+    def _population(self, n, seed=4):
+        rng = np.random.default_rng(seed)
+        space = DnnSpace()
+        return [space.sample(rng) for _ in range(n)]
+
+    def test_matches_scalar_evaluate(self, hypernet):
+        genotypes = self._population(12)
+        images = x32((24, 3, 8, 8), seed=5)
+        labels = np.random.default_rng(5).integers(0, 10, size=24)
+        scalar = [
+            hypernet.evaluate(g, images, labels, batch_size=12) for g in genotypes
+        ]
+        batched = hypernet.evaluate_many(genotypes, images, labels, batch_size=12)
+        # Exact equality is deliberate: a round-off tolerance of 1/len(y)
+        # would have masked real grouping bugs during development, and the
+        # fixtures are deterministic per environment.  If a platform's
+        # BLAS ever flips a near-tied argmax, this failing loudly is the
+        # desired signal, not noise.
+        assert batched == scalar
+
+    def test_batch_order_invariance(self, hypernet):
+        """Same genotype set, any order -> identical accuracies."""
+        genotypes = self._population(10, seed=6)
+        images = x32((16, 3, 8, 8), seed=6)
+        labels = np.random.default_rng(6).integers(0, 10, size=16)
+        forward = hypernet.evaluate_many(genotypes, images, labels, batch_size=16)
+        perm = list(reversed(range(10)))
+        shuffled = hypernet.evaluate_many(
+            [genotypes[i] for i in perm], images, labels, batch_size=16
+        )
+        assert [forward[i] for i in perm] == shuffled
+
+    def test_duplicates_deduplicated(self, hypernet):
+        genotypes = self._population(3, seed=7)
+        images = x32((8, 3, 8, 8), seed=7)
+        labels = np.random.default_rng(7).integers(0, 10, size=8)
+        doubled = hypernet.evaluate_many(
+            genotypes + genotypes, images, labels, batch_size=8
+        )
+        assert doubled[:3] == doubled[3:]
+
+    def test_genotype_batch_chunking_invariant(self, hypernet):
+        genotypes = self._population(9, seed=8)
+        images = x32((8, 3, 8, 8), seed=8)
+        labels = np.random.default_rng(8).integers(0, 10, size=8)
+        whole = hypernet.evaluate_many(
+            genotypes, images, labels, batch_size=8, genotype_batch=9
+        )
+        chunked = hypernet.evaluate_many(
+            genotypes, images, labels, batch_size=8, genotype_batch=2
+        )
+        assert whole == chunked
+
+    def test_forward_many_matches_forward(self, hypernet):
+        """Stacked logits track the scalar forward to float32 round-off."""
+        genotypes = self._population(6, seed=9)
+        x = x32((8, 3, 8, 8), seed=9)
+        batched = hypernet.forward_many(x, genotypes)
+        for g, logits in zip(genotypes, batched):
+            np.testing.assert_allclose(
+                logits, hypernet.forward(x, g), rtol=1e-4, atol=1e-5
+            )
+
+    def test_empty_and_single(self, hypernet):
+        images = x32((8, 3, 8, 8), seed=10)
+        labels = np.random.default_rng(10).integers(0, 10, size=8)
+        assert hypernet.evaluate_many([], images, labels) == []
+        (g,) = self._population(1, seed=10)
+        single = hypernet.evaluate_many([g], images, labels, batch_size=8)
+        assert single == [hypernet.evaluate(g, images, labels, batch_size=8)]
+
+    def test_rejects_bad_genotype_batch(self, hypernet):
+        images = x32((8, 3, 8, 8), seed=11)
+        labels = np.random.default_rng(11).integers(0, 10, size=8)
+        with pytest.raises(ValueError):
+            hypernet.evaluate_many(
+                self._population(2), images, labels, genotype_batch=0
+            )
+
+
 class TestPathIsolation:
     def test_backward_touches_only_path_parameters(self):
         hn = HyperNet(num_cells=3, stem_channels=4, rng=np.random.default_rng(7))

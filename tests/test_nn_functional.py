@@ -357,3 +357,114 @@ class TestPointwise:
         logits[1, 2] = 50.0
         loss, _ = F.softmax_cross_entropy(logits, np.array([1, 2]))
         assert loss < 1e-6
+
+
+class TestInferenceKernels:
+    """Forward-only kernels must match their training counterparts."""
+
+    def test_conv2d_infer_matches_forward(self):
+        for kernel, stride, pad in [(3, 1, 1), (5, 1, 2), (3, 2, 1)]:
+            x = rand((6, 4, 8, 8), seed=40)
+            w = rand((5, 4, kernel, kernel), seed=41)
+            out, _ = F.conv2d_forward(x, w, stride, pad)
+            np.testing.assert_array_equal(F.conv2d_infer(x, w, stride, pad), out)
+
+    def test_conv2d_infer_pointwise_matches_forward(self):
+        for stride in (1, 2):
+            x = rand((6, 4, 8, 8), seed=42)
+            w = rand((7, 4, 1, 1), seed=43)
+            out, _ = F.conv2d_forward(x, w, stride, 0)
+            np.testing.assert_array_equal(F.conv2d_infer(x, w, stride, 0), out)
+
+    def test_depthwise_infer_matches_forward(self):
+        for kernel, stride in [(3, 1), (5, 1), (3, 2)]:
+            pad = (kernel - 1) // 2
+            x = rand((6, 4, 8, 8), seed=44)
+            w = rand((4, kernel, kernel), seed=45)
+            out, _ = F.depthwise_conv2d_forward(x, w, stride, pad)
+            np.testing.assert_allclose(
+                F.depthwise_conv2d_infer(x, w, stride, pad), out,
+                rtol=1e-5, atol=1e-6,
+            )
+
+    def test_maxpool_infer_bitwise_identical(self):
+        for stride in (1, 2):
+            x = rand((6, 4, 8, 8), seed=46)
+            out, _ = F.maxpool2d_forward(x, 3, stride, 1)
+            np.testing.assert_array_equal(F.maxpool2d_infer(x, 3, stride, 1), out)
+
+    def test_avgpool_infer_matches_forward(self):
+        for stride in (1, 2):
+            x = rand((6, 4, 8, 8), seed=47)
+            out, _ = F.avgpool2d_forward(x, 3, stride, 1)
+            np.testing.assert_allclose(
+                F.avgpool2d_infer(x, 3, stride, 1), out, rtol=1e-6, atol=1e-7
+            )
+
+
+class TestSegmentedBatchNorm:
+    """segments > 1 must equal separate per-segment forwards."""
+
+    def _params(self, c):
+        gamma = rand((c,), seed=50) * 0.5 + 1.0
+        beta = rand((c,), seed=51) * 0.1
+        return gamma, beta
+
+    def test_matches_per_segment_scalar(self):
+        x = rand((12, 3, 4, 4), seed=52)
+        gamma, beta = self._params(3)
+        seg_out, cache = F.batchnorm_forward(
+            x, gamma, beta, np.zeros(3, np.float32), np.ones(3, np.float32),
+            0.1, 1e-5, True, segments=4,
+        )
+        assert cache is None  # forward-only: no backward cache
+        for s in range(4):
+            part, _ = F.batchnorm_forward(
+                x[s * 3 : (s + 1) * 3], gamma, beta,
+                np.zeros(3, np.float32), np.ones(3, np.float32),
+                0.1, 1e-5, True,
+            )
+            np.testing.assert_allclose(
+                seg_out[s * 3 : (s + 1) * 3], part, rtol=1e-6, atol=1e-6
+            )
+
+    def test_segments_one_unchanged(self):
+        x = rand((8, 3, 4, 4), seed=53)
+        gamma, beta = self._params(3)
+        rm, rv = np.zeros(3, np.float32), np.ones(3, np.float32)
+        plain, cache = F.batchnorm_forward(x, gamma, beta, rm.copy(), rv.copy(), 0.1, 1e-5, True)
+        seg, _ = F.batchnorm_forward(x, gamma, beta, rm.copy(), rv.copy(), 0.1, 1e-5, True, segments=1)
+        assert cache is not None
+        np.testing.assert_array_equal(plain, seg)
+
+    def test_indivisible_batch_rejected(self):
+        x = rand((10, 3, 4, 4), seed=54)
+        gamma, beta = self._params(3)
+        with pytest.raises(ValueError):
+            F.batchnorm_forward(
+                x, gamma, beta, np.zeros(3, np.float32), np.ones(3, np.float32),
+                0.1, 1e-5, True, segments=4,
+            )
+
+    def test_bn_segments_scope(self):
+        from repro.nn.layers import BatchNorm2d, bn_segments
+
+        x = rand((8, 3, 4, 4), seed=55)
+        bn = BatchNorm2d(3)
+        with bn_segments(2):
+            grouped = bn.forward(x)
+        separate = np.concatenate([bn.forward(x[:4]), bn.forward(x[4:])])
+        np.testing.assert_allclose(grouped, separate, rtol=1e-6, atol=1e-6)
+        with pytest.raises(ValueError):
+            with bn_segments(0):
+                pass
+
+    def test_forward_infer_matches_module(self):
+        from repro.nn.infer import forward_infer
+        from repro.nn.layers import ReLUConvBN
+
+        x = rand((8, 4, 8, 8), seed=56)
+        op = ReLUConvBN(4, 4, kernel=3, rng=np.random.default_rng(57))
+        np.testing.assert_allclose(
+            forward_infer(op, x), op(x), rtol=1e-5, atol=1e-6
+        )
