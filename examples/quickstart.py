@@ -6,7 +6,7 @@ RL search over the joint DNN x accelerator space (Step 2), rescore the
 top candidates accurately and print the final co-design (Step 3).
 
 Usage:
-    python examples/quickstart.py [--scale smoke|demo] [--seed 0]
+    python examples/quickstart.py [--scale smoke|demo] [--seed 0] [--workers N]
 """
 
 from __future__ import annotations
@@ -21,10 +21,13 @@ def main() -> None:
     parser.add_argument("--scale", default="smoke", choices=["smoke", "demo"],
                         help="experiment scale (smoke: ~30 s, demo: minutes)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for Step-2 candidate scoring "
+                             "(bit-identical results at any count)")
     args = parser.parse_args()
 
     print(f"Running YOSO end to end at {args.scale!r} scale ...")
-    result = quick_codesign(args.scale, seed=args.seed)
+    result = quick_codesign(args.scale, seed=args.seed, workers=args.workers)
 
     best = result.best
     point = best.point()

@@ -41,11 +41,13 @@ __all__ = [
 ]
 
 
-def quick_codesign(scale_name: str = "demo", seed: int = 0):
+def quick_codesign(scale_name: str = "demo", seed: int = 0, workers: int = 1):
     """Run the full three-step YOSO pipeline at a small scale.
 
     Convenience entry point used by the quickstart example; returns a
-    :class:`repro.search.YosoResult`.
+    :class:`repro.search.YosoResult`.  ``workers > 1`` shards Step-2
+    candidate scoring across that many worker processes
+    (:mod:`repro.parallel`) with bit-identical results.
     """
     from .experiments.common import demo_thresholds
     from .nn.data import SyntheticCifar
@@ -68,6 +70,7 @@ def quick_codesign(scale_name: str = "demo", seed: int = 0):
         search_iterations=s.search_iterations,
         topn=s.topn,
         rescore_epochs=s.standalone_epochs,
+        workers=workers,
         seed=seed,
     )
     # Thresholds scale with the workload; use the demo-calibrated values.

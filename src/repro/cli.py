@@ -19,12 +19,16 @@ import sys
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="demo", choices=["smoke", "demo", "paper"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for candidate scoring (1 = in-process; "
+             "search-driven commands only, results are bit-identical)")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     from repro import quick_codesign
 
-    result = quick_codesign(args.scale, seed=args.seed)
+    result = quick_codesign(args.scale, seed=args.seed, workers=args.workers)
     best = result.best
     print(f"final co-design : {best.point().describe()}")
     print(f"accuracy        : {best.accurate.accuracy:.3f}")
@@ -45,14 +49,16 @@ def cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.common import get_context
     from repro.experiments.fig5 import run_fig5a, run_fig5b
     from repro.experiments.plotting import line_chart, scatter_chart
 
-    curve = run_fig5a(args.scale, args.seed)
+    context = get_context(args.scale, args.seed, workers=args.workers)
+    curve = run_fig5a(args.scale, args.seed, context=context)
     print(line_chart({"hypernet": curve.accuracy},
                      title="Fig 5(a): HyperNet training accuracy",
                      x_label="epoch", y_label="accuracy"))
-    corr = run_fig5b(args.scale, args.seed, n_models=args.models)
+    corr = run_fig5b(args.scale, args.seed, context=context, n_models=args.models)
     print()
     print(scatter_chart(corr.hypernet_accuracy, corr.standalone_accuracy,
                         title="Fig 5(b): inherited vs stand-alone accuracy",
@@ -62,17 +68,20 @@ def cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.common import get_context
     from repro.experiments.fig6 import run_fig6_tradeoff, run_fig6a
     from repro.experiments.plotting import line_chart, scatter_chart
 
-    a = run_fig6a(args.scale, args.seed, iterations=args.iterations)
+    context = get_context(args.scale, args.seed, workers=args.workers)
+    a = run_fig6a(args.scale, args.seed, context=context,
+                  iterations=args.iterations)
     print(line_chart(
         {"RL": a.rl.running_best_rewards(), "random": a.random.running_best_rewards()},
         title="Fig 6(a): running-best composite score",
         x_label="iteration", y_label="reward",
     ))
     for which, label in (("energy", "Fig 6(b)"), ("latency", "Fig 6(c)")):
-        t = run_fig6_tradeoff(which, args.scale, args.seed,
+        t = run_fig6_tradeoff(which, args.scale, args.seed, context=context,
                               iterations=args.iterations)
         pts = t.scatter()
         front = t.front()
@@ -90,9 +99,12 @@ def cmd_fig6(args: argparse.Namespace) -> int:
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.common import get_context
     from repro.experiments.table2 import run_table2
 
-    result = run_table2(args.scale, args.seed, iterations=args.iterations)
+    context = get_context(args.scale, args.seed, workers=args.workers)
+    result = run_table2(args.scale, args.seed, context=context,
+                        iterations=args.iterations)
     print(result.to_text())
     return 0
 

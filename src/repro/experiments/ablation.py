@@ -87,8 +87,12 @@ def run_search_strategy_ablation(
         seed=seed + 31,
         evaluate_batch=evaluator.evaluate_many,
     ).run(n)
+    # batch_size is history-invariant for random search (see
+    # repro.search.random_search); chunked draws feed the batched scorer
+    # real populations — sharded across workers in parallel contexts.
     random = RandomSearch(
         evaluator.evaluate, spec, seed=seed + 32,
+        batch_size=min(16, n),
         evaluate_batch=evaluator.evaluate_many,
     ).run(n)
     bayes = BayesianOptSearch(

@@ -14,7 +14,8 @@ the paper's values do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import atexit
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from ..accel.simulator import SystolicArraySimulator
 from ..nas.hypernet import EpochStats, HyperNet, HyperNetTrainer
 from ..nas.space import DnnSpace
 from ..nn.data import SyntheticCifar
+from ..parallel import create_evaluator
 from ..predict.dataset import PerfDataset, collect_samples
 from ..scale import ExperimentScale, get_scale
 from ..search.evaluator import BatchEvaluator, FastEvaluator
@@ -53,6 +55,8 @@ class ExperimentContext:
     batch_evaluator: BatchEvaluator
     t_lat_ms: float
     t_eer_mj: float
+    #: Worker processes behind ``batch_evaluator`` (1 = in-process).
+    workers: int = 1
 
     @property
     def num_cells(self) -> int:
@@ -63,12 +67,25 @@ class ExperimentContext:
         return self.scale.hypernet_channels
 
 
-_CACHE: dict[tuple[str, int], ExperimentContext] = {}
+_CACHE: dict[tuple[str, int, int], ExperimentContext] = {}
 
 
 def clear_context_cache() -> None:
-    """Drop cached contexts (tests use this to force rebuilds)."""
+    """Drop cached contexts (tests use this to force rebuilds).
+
+    Parallel-backed contexts shut their worker pools down first, so
+    clearing never leaks processes.
+    """
+    for context in _CACHE.values():
+        if hasattr(context.batch_evaluator, "close"):
+            context.batch_evaluator.close()
     _CACHE.clear()
+
+
+# Cached parallel-backed contexts hold live worker pools; shut them down
+# when the process ends.  (Pools respawn lazily, so a closed context that
+# is looked up again keeps working.)
+atexit.register(clear_context_cache)
 
 
 def demo_thresholds(
@@ -103,11 +120,34 @@ def scaled_reward(spec: RewardSpec, context: "ExperimentContext") -> RewardSpec:
     return spec.scaled(context.t_lat_ms, context.t_eer_mj)
 
 
-def get_context(scale_name: str = "demo", seed: int = 0) -> ExperimentContext:
-    """Build (or fetch) the shared experiment context for a scale."""
-    key = (scale_name, seed)
+def get_context(
+    scale_name: str = "demo", seed: int = 0, workers: int = 1
+) -> ExperimentContext:
+    """Build (or fetch) the shared experiment context for a scale.
+
+    ``workers > 1`` backs the shared batch evaluator with the sharded
+    multi-process engine (:func:`repro.parallel.create_evaluator`), so
+    every experiment harness' candidate scoring fans out across worker
+    processes — with bit-identical results.  The expensive Step-1
+    artefacts (trained HyperNet, simulator samples, GP fits) are cached
+    per (scale, seed) and *shared* across worker counts: only the
+    evaluator wrapper differs, so asking for a new ``workers`` value on
+    an already-built context is near-free.
+    """
+    key = (scale_name, seed, workers)
     if key in _CACHE:
         return _CACHE[key]
+    for (cached_scale, cached_seed, _w), base in _CACHE.items():
+        if cached_scale == scale_name and cached_seed == seed:
+            context = replace(
+                base,
+                batch_evaluator=create_evaluator(
+                    base.fast_evaluator, workers=workers
+                ),
+                workers=workers,
+            )
+            _CACHE[key] = context
+            return context
     scale = get_scale(scale_name)
     dataset = SyntheticCifar(
         image_size=scale.image_size,
@@ -163,10 +203,12 @@ def get_context(scale_name: str = "demo", seed: int = 0) -> ExperimentContext:
         fast_evaluator=fast_evaluator,
         # One shared batched scorer (LRU + batched GP + batched HyperNet
         # accuracy) so every experiment harness — and the report CLI's
-        # efficiency table — sees the same hits/misses accounting.
-        batch_evaluator=BatchEvaluator(fast_evaluator),
+        # efficiency table — sees the same hits/misses accounting.  At
+        # workers > 1 it is the sharded multi-process engine.
+        batch_evaluator=create_evaluator(fast_evaluator, workers=workers),
         t_lat_ms=t_lat,
         t_eer_mj=t_eer,
+        workers=workers,
     )
     _CACHE[key] = context
     return context

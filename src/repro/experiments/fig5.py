@@ -64,9 +64,13 @@ class Fig5bResult:
         )
 
 
-def run_fig5a(scale_name: str = "demo", seed: int = 0) -> Fig5aResult:
+def run_fig5a(
+    scale_name: str = "demo",
+    seed: int = 0,
+    context: ExperimentContext | None = None,
+) -> Fig5aResult:
     """Regenerate Fig. 5(a) from the shared context's training history."""
-    context = get_context(scale_name, seed)
+    context = context or get_context(scale_name, seed)
     history: list[EpochStats] = context.hypernet_history
     return Fig5aResult(
         epochs=[h.epoch for h in history],

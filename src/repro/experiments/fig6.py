@@ -136,8 +136,13 @@ def run_fig6a(
         lr=search_lr(context, lr), seed=seed,
         evaluate_batch=evaluator.evaluate_many,
     ).run(n)
+    # Random search is history-invariant in batch_size (token sampling is
+    # its only RNG consumer), so draw candidates 16 at a time: one batched
+    # scoring call per chunk — and real shards for the parallel engine
+    # when the context runs with workers > 1.
     random = RandomSearch(
         evaluator.evaluate, spec, seed=seed + 1,
+        batch_size=min(16, n),
         evaluate_batch=evaluator.evaluate_many,
     ).run(n)
     return Fig6aResult(rl=rl, random=random, subsample=10)

@@ -29,6 +29,7 @@ def generate_report(
     context: ExperimentContext | None = None,
     iterations: int | None = None,
     correlation_models: int | None = None,
+    workers: int = 1,
 ) -> str:
     """Run every experiment and return the combined markdown report.
 
@@ -36,9 +37,14 @@ def generate_report(
     efficiency** section: wall-clock seconds per stage plus the shared
     :class:`~repro.search.evaluator.BatchEvaluator` cache accounting
     (lookups / hits / hit-rate per stage, cumulative hit rate overall) —
-    see EXPERIMENTS.md for how to read the columns.
+    see EXPERIMENTS.md for how to read the columns.  ``workers > 1``
+    shards candidate scoring across that many worker processes (results
+    are bit-identical; a parallel-engine line is appended to the
+    efficiency section).  ``workers`` only applies when ``context`` is
+    None — an explicit context brings its own evaluator, and the report
+    describes THAT context's engine.
     """
-    context = context or get_context(scale_name, seed)
+    context = context or get_context(scale_name, seed, workers=workers)
     scale = context.scale
     evaluator = context.batch_evaluator
     n_iter = iterations if iterations is not None else scale.search_iterations
@@ -78,7 +84,7 @@ def generate_report(
               f"best latency predictor: **{fig4.best('latency').model}**."]
 
     # Fig. 5.
-    fig5a = staged("fig5a", lambda: run_fig5a(scale_name, seed))
+    fig5a = staged("fig5a", lambda: run_fig5a(scale_name, seed, context=context))
     parts += ["", "## Fig. 5(a) — HyperNet training", "",
               "epoch accuracies: "
               + ", ".join(f"{a:.3f}" for a in fig5a.accuracy)]
@@ -149,6 +155,21 @@ def generate_report(
                   stage_rows,
               ),
               "```"]
+    if context.workers > 1:
+        pool = getattr(evaluator, "pool", None)
+        if pool is None:
+            parts += ["",
+                      f"Parallel engine: {context.workers} workers configured, "
+                      f"pool never spawned (every batch stayed below "
+                      f"min_dispatch — see docs/PERFORMANCE.md)."]
+        else:
+            parts += ["",
+                      f"Parallel engine: {context.workers} workers, "
+                      f"{pool.batches} dispatched batches "
+                      f"({pool.items} cold genotypes sharded), "
+                      f"{pool.restarts} pool restarts, "
+                      f"replication payload "
+                      f"{pool.payload_bytes / 1e6:.1f} MB/worker."]
     return "\n".join(parts) + "\n"
 
 
@@ -157,10 +178,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", default="smoke", choices=["smoke", "demo"])
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for candidate scoring "
+                             "(1 = in-process; results are bit-identical)")
     parser.add_argument("--output", default=None,
                         help="write the report here instead of stdout")
     args = parser.parse_args(argv)
-    report = generate_report(args.scale, args.seed, iterations=args.iterations)
+    report = generate_report(args.scale, args.seed, iterations=args.iterations,
+                             workers=args.workers)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)

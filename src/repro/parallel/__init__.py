@@ -1,0 +1,48 @@
+"""Sharded multi-process evaluation with a micro-batching scheduler.
+
+The batched co-design scorer (:mod:`repro.search.evaluator`) made a
+population cost one grouped HyperNet forward and one GP prediction — on
+one core.  This subsystem is the next multiplier: it spreads that work
+across worker processes and coalesces concurrent request traffic, while
+keeping results bit-identical to the single-process engine.
+
+* :mod:`repro.parallel.pool` — :class:`EvaluatorPool`: a persistent,
+  spawn-safe worker pool; each worker deserialises ONE stripped
+  :class:`~repro.search.evaluator.FastEvaluator` replica at startup
+  (weights and GP predictors ship once, never per call) and the pool
+  transparently respawns and resubmits when a worker dies.
+* :mod:`repro.parallel.sharder` — deterministic contiguous chunking of
+  genotype populations and flat hardware sweeps, with an
+  order-preserving merge (``merge(shard(xs, k)) == xs`` for every k).
+* :mod:`repro.parallel.evaluator` — :class:`ParallelEvaluator`, a
+  drop-in ``BatchEvaluator`` that keeps the LRU caches and the GP
+  prediction in the parent, ships only cache misses to workers, and
+  falls back to strict in-process execution at ``workers <= 1``.
+  :func:`create_evaluator` picks the right engine for a worker count.
+* :mod:`repro.parallel.scheduler` — :class:`MicroBatchScheduler`:
+  coalesces concurrent ``evaluate`` requests from many search threads or
+  service clients into one sharded batch per tick.
+
+Every search strategy reaches this engine through the ``workers`` knob on
+:class:`~repro.search.yoso.YosoConfig`, ``get_context(...)`` or the
+``--workers`` CLI flags; see docs/PERFORMANCE.md for the execution model
+and when workers lose to in-process.
+"""
+
+from .evaluator import ParallelEvaluator, create_evaluator
+from .pool import EvaluatorPool, ShardResult, WorkItem, replication_payload
+from .scheduler import MicroBatchScheduler
+from .sharder import merge_shards, shard_bounds, shard_sequence
+
+__all__ = [
+    "ParallelEvaluator",
+    "create_evaluator",
+    "EvaluatorPool",
+    "WorkItem",
+    "ShardResult",
+    "replication_payload",
+    "MicroBatchScheduler",
+    "shard_bounds",
+    "shard_sequence",
+    "merge_shards",
+]

@@ -1,0 +1,196 @@
+"""ParallelEvaluator: sharded, drop-in batched candidate scoring.
+
+A :class:`~repro.search.evaluator.BatchEvaluator` subclass that farms the
+expensive per-genotype work of a cache miss — the grouped HyperNet
+accuracy forward and the genotype feature prefix — out to a persistent
+:class:`~repro.parallel.pool.EvaluatorPool` of replicated fast
+evaluators.  Everything else stays in the parent:
+
+* the encoding-keyed LRU caches (evaluations, accuracies, feature
+  prefixes) — only cache *misses* are ever shipped to workers;
+* the cheap hardware feature suffix (``config_features``);
+* the batched GP latency/energy prediction, which runs over the full
+  merged feature matrix exactly as in the single-process path;
+* :class:`~repro.search.evaluator.Evaluation` assembly and accounting.
+
+**Bit-exactness.**  Worker-side accuracies equal the scalar oracle
+exactly (the ``evaluate_many`` parity property), feature rows are a
+deterministic pure function of the genotype, sharding is deterministic
+with an order-preserving merge (:mod:`repro.parallel.sharder`), and the
+GP sees the identical stacked matrix either way — so results are
+bit-identical to :class:`~repro.search.evaluator.BatchEvaluator` at any
+worker count.  ``tests/test_parallel.py`` pins this with ``==`` (no
+tolerances).
+
+At ``workers <= 1`` every call falls back to the inherited in-process
+implementation and no pool is ever created; :func:`create_evaluator`
+returns a plain ``BatchEvaluator`` in that case so default single-core
+paths carry zero lifecycle baggage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from ..nas.encoding import CoDesignPoint
+from ..predict.features import config_features
+from ..search.evaluator import BatchEvaluator, FastEvaluator
+from .pool import EvaluatorPool, WorkItem, compute_work_items
+from .sharder import shard_sequence
+
+__all__ = ["ParallelEvaluator", "create_evaluator"]
+
+
+class ParallelEvaluator(BatchEvaluator):
+    """Drop-in ``BatchEvaluator`` that shards cache misses across workers.
+
+    Parameters mirror :class:`~repro.search.evaluator.BatchEvaluator`
+    plus the pool knobs:
+
+    ``workers``
+        Worker process count.  ``<= 1`` means strict in-process execution
+        (no pool, no spawn, no pickle) — behaviourally identical to the
+        parent class.
+    ``min_dispatch``
+        Smallest number of unique cold genotypes worth a round-trip to
+        the pool; below it the in-process path runs (values are identical
+        either way, this is purely a latency knob).
+    ``start_method`` / ``max_restarts``
+        Forwarded to :class:`~repro.parallel.pool.EvaluatorPool`.
+    """
+
+    def __init__(
+        self,
+        fast: FastEvaluator,
+        workers: int = 2,
+        cache_size: int = 16384,
+        min_dispatch: int = 2,
+        start_method: str = "spawn",
+        max_restarts: int = 3,
+    ) -> None:
+        super().__init__(fast, cache_size=cache_size)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.min_dispatch = max(1, min_dispatch)
+        self._start_method = start_method
+        self._max_restarts = max_restarts
+        self._pool: EvaluatorPool | None = None
+
+    # -- pool lifecycle --------------------------------------------------
+    def _ensure_pool(self) -> EvaluatorPool:
+        if self._pool is None:
+            self._pool = EvaluatorPool(
+                self.fast,
+                self.workers,
+                start_method=self._start_method,
+                max_restarts=self._max_restarts,
+            )
+        return self._pool
+
+    @property
+    def pool(self) -> EvaluatorPool | None:
+        """The live pool, or ``None`` before the first dispatch."""
+        return self._pool
+
+    @property
+    def pool_restarts(self) -> int:
+        """Worker-crash recoveries performed so far."""
+        return self._pool.restarts if self._pool is not None else 0
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        The evaluator stays usable: a later cold batch lazily spawns a
+        fresh pool from the replication payload.
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the sharded miss path -------------------------------------------
+    def _miss_inputs(
+        self, points: Sequence[CoDesignPoint], geno_keys: Sequence[tuple]
+    ) -> tuple[list[float], np.ndarray]:
+        if self.workers <= 1:
+            return super()._miss_inputs(points, geno_keys)
+        # Snapshot LRU hits and collect the outstanding unique-genotype
+        # work.  Only misses cross the process boundary.
+        measured: dict[tuple, float] = {}
+        feats: dict[tuple, np.ndarray] = {}
+        need: OrderedDict[tuple, WorkItem] = OrderedDict()
+        for geno_key, point in zip(geno_keys, points):
+            if geno_key in need:
+                continue
+            acc_hit = geno_key in self._acc_lru
+            if acc_hit and geno_key not in measured:
+                measured[geno_key] = self._acc_lru[geno_key]
+                self._acc_lru.move_to_end(geno_key)
+            feat_hit = geno_key in self._feat_lru
+            if feat_hit and geno_key not in feats:
+                feats[geno_key] = self._feat_lru[geno_key]
+                self._feat_lru.move_to_end(geno_key)
+            if not (acc_hit and feat_hit):
+                need[geno_key] = WorkItem(
+                    genotype=point.genotype,
+                    need_accuracy=not acc_hit,
+                    need_features=not feat_hit,
+                )
+        if need:
+            items = list(need.values())
+            if len(items) < self.min_dispatch:
+                shard_results = [compute_work_items(self.fast, items)]
+            else:
+                shards = shard_sequence(items, self.workers)
+                shard_results = self._ensure_pool().run_shards(shards)
+            merged_acc = [a for r in shard_results for a in r.accuracies]
+            merged_feat = [f for r in shard_results for f in r.features]
+            for geno_key, item, accuracy, row in zip(
+                need, items, merged_acc, merged_feat
+            ):
+                if item.need_accuracy:
+                    assert accuracy is not None
+                    measured[geno_key] = accuracy
+                    self._lru_put(self._acc_lru, geno_key, accuracy, self.cache_size)
+                if item.need_features:
+                    assert row is not None
+                    feats[geno_key] = row
+                    self._lru_put(self._feat_lru, geno_key, row, self.cache_size)
+        accuracies = [measured[geno_key] for geno_key in geno_keys]
+        rows = [
+            np.concatenate([feats[geno_key], config_features(point.config)])
+            for geno_key, point in zip(geno_keys, points)
+        ]
+        return accuracies, np.stack(rows)
+
+
+def create_evaluator(
+    fast: FastEvaluator,
+    workers: int = 1,
+    cache_size: int = 16384,
+    **pool_kwargs,
+) -> BatchEvaluator:
+    """Build the right batched evaluator for a worker count.
+
+    ``workers <= 1`` returns a plain in-process
+    :class:`~repro.search.evaluator.BatchEvaluator`; anything larger
+    returns a :class:`ParallelEvaluator` (extra keyword arguments are
+    forwarded to it).  Both are drop-in compatible scorers.
+    """
+    if workers <= 1:
+        return BatchEvaluator(fast, cache_size=cache_size)
+    return ParallelEvaluator(fast, workers=workers, cache_size=cache_size, **pool_kwargs)

@@ -1,0 +1,224 @@
+"""Micro-batching request scheduler for concurrent evaluation traffic.
+
+Search threads (or service clients) call :meth:`MicroBatchScheduler.
+submit` / :meth:`evaluate_many` concurrently; the scheduler coalesces all
+requests pending at each tick into ONE batched call on the underlying
+evaluator and slices the results back per request.  Under heavy
+concurrent traffic N small requests collapse into one sharded batch —
+one grouped HyperNet forward, one GP prediction, one pool dispatch —
+instead of N serialized round-trips.
+
+Correctness is free: ``evaluate_many`` is order-preserving and its
+values do not depend on batch composition (the batch-parity guarantees
+of :class:`~repro.search.evaluator.BatchEvaluator`), so coalescing
+changes wall-clock only, never results.
+
+Operation:
+
+* ``auto_start=True`` (default) runs a daemon scheduler thread: it
+  sleeps while the queue is empty, and on traffic waits ``tick_s``
+  (the coalescing window) before draining the queue.
+* ``auto_start=False`` is the synchronous mode — callers enqueue with
+  :meth:`submit` and drive batches explicitly with :meth:`flush` (the
+  deterministic mode the coalescing tests use).
+
+The scheduler is itself evaluator-shaped (``evaluate`` /
+``evaluate_many``), so a search loop can be pointed at it unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nas.encoding import CoDesignPoint
+    from ..search.evaluator import Evaluation
+
+__all__ = ["MicroBatchScheduler"]
+
+
+class _Request:
+    __slots__ = ("points", "future")
+
+    def __init__(self, points: list) -> None:
+        self.points = points
+        self.future: Future = Future()
+
+
+class MicroBatchScheduler:
+    """Coalesce concurrent evaluate requests into one batch per tick.
+
+    ``evaluator`` is anything with a list-in/list-out ``evaluate_many``
+    (:class:`~repro.search.evaluator.BatchEvaluator`,
+    :class:`~repro.parallel.evaluator.ParallelEvaluator`, ...).
+    ``tick_s`` is the coalescing window the scheduler thread waits after
+    traffic arrives; ``max_batch_points`` bounds how many points a single
+    coalesced batch may hold (a single larger request still runs whole).
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        tick_s: float = 0.002,
+        max_batch_points: int = 4096,
+        auto_start: bool = True,
+    ) -> None:
+        if tick_s < 0:
+            raise ValueError("tick_s must be >= 0")
+        if max_batch_points < 1:
+            raise ValueError("max_batch_points must be >= 1")
+        self.evaluator = evaluator
+        self.tick_s = tick_s
+        self.max_batch_points = max_batch_points
+        self._pending: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        # Serialises batch execution: the underlying evaluator is not safe
+        # under concurrent evaluate_many calls, and in synchronous mode
+        # several submitter threads may flush() at once.
+        self._dispatch = threading.Lock()
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        # -- stats (guarded by _cond) --
+        self.ticks = 0
+        self.requests = 0
+        self.points_in = 0
+        self.largest_batch = 0
+        if auto_start:
+            self.start()
+
+    # -- client API ------------------------------------------------------
+    def submit(self, points: Sequence["CoDesignPoint"]) -> Future:
+        """Enqueue a request; the future resolves to one Evaluation per
+        point, in input order.  Thread-safe."""
+        request = _Request(list(points))
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._pending.append(request)
+            self.requests += 1
+            self.points_in += len(request.points)
+            self._cond.notify_all()
+        return request.future
+
+    def evaluate_many(
+        self, points: Sequence["CoDesignPoint"]
+    ) -> list["Evaluation"]:
+        """Blocking drop-in for ``BatchEvaluator.evaluate_many``."""
+        future = self.submit(points)
+        if self._thread is None:
+            # Synchronous mode: the caller drives the batch itself.
+            self.flush()
+        return future.result()
+
+    def evaluate(self, point: "CoDesignPoint") -> "Evaluation":
+        """Blocking drop-in for ``BatchEvaluator.evaluate``."""
+        return self.evaluate_many([point])[0]
+
+    # -- batching core ---------------------------------------------------
+    def _take_batch(self) -> list[_Request]:
+        """Pop pending requests up to ``max_batch_points`` (>= 1 request)."""
+        with self._cond:
+            batch: list[_Request] = []
+            points = 0
+            while self._pending:
+                request = self._pending[0]
+                if batch and points + len(request.points) > self.max_batch_points:
+                    break
+                batch.append(self._pending.popleft())
+                points += len(request.points)
+            return batch
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        points = [p for request in batch for p in request.points]
+        try:
+            results = self.evaluator.evaluate_many(points)
+        except BaseException as exc:  # propagate to every coalesced caller
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        with self._cond:
+            self.ticks += 1
+            self.largest_batch = max(self.largest_batch, len(points))
+        offset = 0
+        for request in batch:
+            request.future.set_result(results[offset : offset + len(request.points)])
+            offset += len(request.points)
+
+    def flush(self) -> int:
+        """Drain the queue synchronously in the calling thread.
+
+        Returns the number of requests served.  Used in synchronous mode
+        and by :meth:`close` to serve stragglers; while the scheduler
+        thread is running it owns all batching (concurrent evaluator
+        calls are never safe), so flushing then is an error.
+        """
+        with self._cond:
+            if self._thread is not None:
+                raise RuntimeError(
+                    "flush() is for synchronous mode; the running scheduler "
+                    "thread owns batching"
+                )
+        served = 0
+        while True:
+            with self._dispatch:
+                batch = self._take_batch()
+                if not batch:
+                    return served
+                self._run_batch(batch)
+            served += len(batch)
+
+    # -- scheduler thread ------------------------------------------------
+    def start(self) -> None:
+        """Start the daemon scheduler thread (no-op if already running)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._loop, name="microbatch-scheduler", daemon=True
+            )
+            self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._pending:
+                    return
+                closing = self._closed
+            if self.tick_s > 0 and not closing:
+                # The coalescing window: let concurrent submitters pile in.
+                time.sleep(self.tick_s)
+            with self._dispatch:
+                batch = self._take_batch()
+                if batch:
+                    self._run_batch(batch)
+
+    def close(self) -> None:
+        """Stop accepting requests, serve what is queued, join the thread."""
+        with self._cond:
+            if self._closed and self._thread is None:
+                return
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            # _thread stays set until the join completes, so the flush()
+            # guard keeps rejecting concurrent callers for the whole
+            # shutdown window (the scheduler thread may still be mid-batch).
+            thread.join()
+            with self._cond:
+                self._thread = None
+        self.flush()  # synchronous-mode stragglers (no thread to serve them)
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

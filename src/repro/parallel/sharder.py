@@ -1,0 +1,70 @@
+"""Deterministic population sharding with an order-preserving merge.
+
+The parallel engine never lets the worker count influence *what* is
+computed — only *where*.  That guarantee rests on two properties pinned
+here and by ``tests/test_parallel.py``:
+
+* **Deterministic chunking** — :func:`shard_bounds` splits ``n`` items
+  into at most ``shards`` contiguous, balanced ranges.  The split is a
+  pure function of ``(n, shards)``: no hashing, no scheduling order, no
+  randomness.
+* **Order-preserving merge** — :func:`merge_shards` is plain
+  concatenation in shard order, so
+  ``merge_shards(shard_sequence(xs, k)) == list(xs)`` for every ``k``.
+
+Because each item's result is independent of which shard computed it
+(worker-side accuracy equals the scalar oracle exactly, and feature rows
+are deterministic per genotype), sharded results are *bit-identical* to
+single-process results at any worker count.  The same helpers chunk DNN
+genotype populations and flat hardware-configuration sweeps — anything
+indexable works.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["shard_bounds", "shard_sequence", "merge_shards"]
+
+T = TypeVar("T")
+
+
+def shard_bounds(n_items: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous balanced ``[lo, hi)`` ranges covering ``range(n_items)``.
+
+    At most ``shards`` non-empty ranges are returned (fewer when there are
+    fewer items than shards); sizes differ by at most one, with the larger
+    ranges first.  Empty input yields an empty list.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be >= 0")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    n_shards = min(shards, n_items)
+    if n_shards == 0:
+        return []
+    base, extra = divmod(n_items, n_shards)
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(n_shards):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def shard_sequence(items: Sequence[T], shards: int) -> list[list[T]]:
+    """Split a sequence into deterministic contiguous chunks.
+
+    Returns at most ``shards`` non-empty lists whose concatenation (see
+    :func:`merge_shards`) reproduces ``list(items)`` exactly.
+    """
+    return [list(items[lo:hi]) for lo, hi in shard_bounds(len(items), shards)]
+
+
+def merge_shards(shards: Sequence[Sequence[T]]) -> list[T]:
+    """Order-preserving merge: concatenate shard results in shard order."""
+    merged: list[T] = []
+    for shard in shards:
+        merged.extend(shard)
+    return merged

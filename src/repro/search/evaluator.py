@@ -306,13 +306,40 @@ class BatchEvaluator:
             for key in missing
         ]
         geno_keys = [self._geno_key_of(key) for key in missing]
-        # Cold-cache accuracy for the whole batch goes through the fast
-        # evaluator's batched path (ONE grouped HyperNet forward for every
-        # genotype missing from the accuracy LRU — not a scalar test run
-        # per candidate).  A local map pins this batch's values (cached
-        # hits are snapshotted up front) so results survive even when
-        # inserting the fresh ones evicts them from a too-small LRU
-        # mid-batch.
+        accuracies, features = self._miss_inputs(points, geno_keys)
+        # The GP prediction always runs in the parent over the full merged
+        # feature matrix, so sharded accuracy/feature computation (see
+        # repro.parallel) cannot perturb the latency/energy numbers.
+        latencies = fast.latency_gp.predict_batch(features)
+        energies = fast.energy_gp.predict_batch(features)
+        for key, accuracy, latency, energy in zip(
+            missing, accuracies, latencies, energies
+        ):
+            result = Evaluation(
+                accuracy=accuracy,
+                latency_ms=max(float(latency), 1e-6),
+                energy_mj=max(float(energy), 1e-6),
+            )
+            results[key] = result
+            self._lru_put(self._lru, key, result, self.cache_size)
+        return results
+
+    def _miss_inputs(
+        self, points: Sequence[CoDesignPoint], geno_keys: Sequence[tuple]
+    ) -> tuple[list[float], np.ndarray]:
+        """Accuracies and stacked feature rows for the missing points.
+
+        This is the single-process implementation — and the hook
+        :class:`repro.parallel.ParallelEvaluator` overrides to shard the
+        work across processes.  Cold-cache accuracy for the whole batch
+        goes through the fast evaluator's batched path (ONE grouped
+        HyperNet forward for every genotype missing from the accuracy LRU
+        — not a scalar test run per candidate).  A local map pins this
+        batch's values (cached hits are snapshotted up front) so results
+        survive even when inserting the fresh ones evicts them from a
+        too-small LRU mid-batch.
+        """
+        fast = self.fast
         fresh: dict[tuple, Genotype] = {}
         measured: dict[tuple, float] = {}
         for geno_key, point in zip(geno_keys, points):
@@ -330,7 +357,7 @@ class BatchEvaluator:
                 self._lru_put(self._acc_lru, geno_key, accuracy, self.cache_size)
         accuracies: list[float] = []
         rows: list[np.ndarray] = []
-        for key, point, geno_key in zip(missing, points, geno_keys):
+        for point, geno_key in zip(points, geno_keys):
             accuracies.append(measured[geno_key])
             geno_feats = self._feat_lru.get(geno_key)
             if geno_feats is None:
@@ -345,20 +372,7 @@ class BatchEvaluator:
             else:
                 self._feat_lru.move_to_end(geno_key)
             rows.append(np.concatenate([geno_feats, config_features(point.config)]))
-        features = np.stack(rows)
-        latencies = fast.latency_gp.predict_batch(features)
-        energies = fast.energy_gp.predict_batch(features)
-        for key, accuracy, latency, energy in zip(
-            missing, accuracies, latencies, energies
-        ):
-            result = Evaluation(
-                accuracy=accuracy,
-                latency_ms=max(float(latency), 1e-6),
-                energy_mj=max(float(energy), 1e-6),
-            )
-            results[key] = result
-            self._lru_put(self._lru, key, result, self.cache_size)
-        return results
+        return accuracies, np.stack(rows)
 
     # ------------------------------------------------------------------
     @property
@@ -391,8 +405,15 @@ class AccurateEvaluator:
         self.batch_size = batch_size
         self.seed = seed
 
-    def evaluate(self, point: CoDesignPoint) -> Evaluation:
-        """Train the candidate from scratch and simulate it accurately."""
+    def train_accuracy(self, point: CoDesignPoint) -> float:
+        """Stand-alone training accuracy of one candidate (no simulation).
+
+        Split out of :meth:`evaluate` so Step-3 rescoring can train each
+        top-N candidate individually (accuracy genuinely needs per-model
+        training) while batching ALL their latency/energy simulations
+        into one :meth:`~repro.accel.simulator.SystolicArraySimulator.
+        simulate_genotypes` call.
+        """
         rng = np.random.default_rng(self.seed)
         network = CellNetwork(
             point.genotype,
@@ -408,6 +429,11 @@ class AccurateEvaluator:
             batch_size=self.batch_size,
             seed=self.seed,
         )
+        return result.val_accuracy
+
+    def evaluate(self, point: CoDesignPoint) -> Evaluation:
+        """Train the candidate from scratch and simulate it accurately."""
+        accuracy = self.train_accuracy(point)
         report = self.simulator.simulate_genotype(
             point.genotype,
             point.config,
@@ -417,7 +443,7 @@ class AccurateEvaluator:
             num_classes=self.num_classes,
         )
         return Evaluation(
-            accuracy=result.val_accuracy,
+            accuracy=accuracy,
             latency_ms=report.latency_ms,
             energy_mj=report.energy_mj,
         )

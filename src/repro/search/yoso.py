@@ -50,6 +50,11 @@ class YosoConfig:
     #: update (1 = the paper's per-episode update; candidate *scoring* goes
     #: through the batched evaluator either way).
     search_batch: int = 1
+    #: Worker processes for candidate scoring.  1 (the default) keeps the
+    #: in-process :class:`~repro.search.evaluator.BatchEvaluator`; > 1
+    #: routes Step 2 through :class:`~repro.parallel.ParallelEvaluator`
+    #: (sharded HyperNet accuracy + feature misses, bit-identical results).
+    workers: int = 1
     seed: int = 0
 
 
@@ -141,7 +146,13 @@ class YosoSearch:
             raise RuntimeError("call build_fast_evaluator() first (Step 1)")
         cfg = self.config
         controller = Controller(hidden_dim=cfg.controller_hidden, seed=cfg.seed)
-        self.batch_evaluator = BatchEvaluator(self.fast_evaluator)
+        # Imported lazily: repro.parallel imports the evaluator module, so a
+        # module-level import here would be circular via the package init.
+        from ..parallel import create_evaluator
+
+        self.batch_evaluator = create_evaluator(
+            self.fast_evaluator, workers=cfg.workers
+        )
         self.search = ReinforceSearch(
             controller,
             self.batch_evaluator.evaluate,
@@ -156,7 +167,14 @@ class YosoSearch:
 
     # -- Step 3 ----------------------------------------------------------
     def finalize(self) -> list[RescoredCandidate]:
-        """Accurately rescore the top-N candidates and rank them."""
+        """Accurately rescore the top-N candidates and rank them.
+
+        Accuracy needs stand-alone training per candidate, but the
+        latency/energy ground truth for ALL top-N candidates comes from
+        ONE batched :meth:`~repro.accel.simulator.SystolicArraySimulator.
+        simulate_genotypes` call instead of N scalar per-layer walks (the
+        batch engine matches the scalar simulator to relative 1e-9).
+        """
         if self.search is None:
             raise RuntimeError("call run_search() first (Step 2)")
         cfg = self.config
@@ -169,9 +187,24 @@ class YosoSearch:
             train_epochs=cfg.rescore_epochs,
             seed=cfg.seed,
         )
+        top = self.search.history.top(cfg.topn)
+        points = [sample.point() for sample in top]
+        batch = self.simulator.simulate_genotypes(
+            [(point.genotype, point.config) for point in points],
+            num_cells=cfg.num_cells,
+            stem_channels=cfg.stem_channels,
+            image_size=self.dataset.image_size,
+            num_classes=cfg.num_classes,
+        )
         rescored: list[RescoredCandidate] = []
-        for sample in self.search.history.top(cfg.topn):
-            evaluation = accurate.evaluate(sample.point())
+        for sample, point, latency, energy in zip(
+            top, points, batch.latency_ms, batch.energy_mj
+        ):
+            evaluation = Evaluation(
+                accuracy=accurate.train_accuracy(point),
+                latency_ms=float(latency),
+                energy_mj=float(energy),
+            )
             rescored.append(
                 RescoredCandidate(
                     sample=sample,
@@ -199,6 +232,11 @@ class YosoSearch:
         t0 = time.perf_counter()
         history = self.run_search()
         times["step2_search"] = time.perf_counter() - t0
+        # Step 2 is the only pool consumer; release the workers before the
+        # (training-heavy) rescoring step.  The evaluator stays usable —
+        # a later batch would lazily respawn the pool.
+        if hasattr(self.batch_evaluator, "close"):
+            self.batch_evaluator.close()
         t0 = time.perf_counter()
         rescored = self.finalize()
         times["step3_rescoring"] = time.perf_counter() - t0

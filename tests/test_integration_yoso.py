@@ -80,6 +80,28 @@ class TestPipeline:
         assert len(search.samples) == 30
         assert search.fast_evaluator is not None
 
+    def test_finalize_batched_simulation_matches_scalar(self, pipeline_result):
+        """Step 3 rescoring batches latency/energy into ONE simulator
+        call; every candidate must match the scalar per-point oracle."""
+        result, search = pipeline_result
+        cfg = search.config
+        for candidate in result.rescored:
+            point = candidate.point()
+            report = search.simulator.simulate_genotype(
+                point.genotype,
+                point.config,
+                num_cells=cfg.num_cells,
+                stem_channels=cfg.stem_channels,
+                image_size=search.dataset.image_size,
+                num_classes=cfg.num_classes,
+            )
+            np.testing.assert_allclose(
+                candidate.accurate.latency_ms, report.latency_ms, rtol=1e-9
+            )
+            np.testing.assert_allclose(
+                candidate.accurate.energy_mj, report.energy_mj, rtol=1e-9
+            )
+
 
 class TestTransferability:
     def test_pipeline_on_different_task(self):

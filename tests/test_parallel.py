@@ -1,0 +1,360 @@
+"""The sharded multi-process evaluation engine (``repro.parallel``).
+
+Covers the four guarantees the subsystem makes:
+
+* **Bit-exact parity** — ``ParallelEvaluator`` results are ``==`` to the
+  in-process ``BatchEvaluator`` at any worker count (no tolerances).
+* **Crash resilience** — killing a worker restarts the pool and the
+  in-flight batch is resubmitted, never lost.
+* **In-process fallback** — ``workers <= 1`` never creates a pool.
+* **Micro-batch coalescing** — concurrent submitters are served from one
+  batched evaluator call per tick.
+
+CI runs this module both inside the tier-1 suite and as a dedicated
+job, so the multiprocess path is exercised on every push.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro.accel.config import enumerate_configs, random_config
+from repro.nas.encoding import CoDesignPoint, encode
+from repro.nas.space import DnnSpace
+from repro.parallel import (
+    MicroBatchScheduler,
+    ParallelEvaluator,
+    create_evaluator,
+    merge_shards,
+    replication_payload,
+    shard_bounds,
+    shard_sequence,
+)
+from repro.search.evaluator import BatchEvaluator
+
+
+def _population(n: int, seed: int = 123) -> list[CoDesignPoint]:
+    """n distinct on-grid co-design points (deterministic)."""
+    rng = np.random.default_rng(seed)
+    space = DnnSpace()
+    return [
+        CoDesignPoint(space.sample(rng, name=f"pop{seed}_{i}"), random_config(rng))
+        for i in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Sharder
+# ---------------------------------------------------------------------------
+
+
+class TestSharder:
+    def test_bounds_cover_and_balance(self):
+        bounds = shard_bounds(10, 4)
+        assert bounds == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_bounds_fewer_items_than_shards(self):
+        assert shard_bounds(2, 8) == [(0, 1), (1, 2)]
+
+    def test_bounds_empty(self):
+        assert shard_bounds(0, 4) == []
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 2)
+        with pytest.raises(ValueError):
+            shard_bounds(4, 0)
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 16, 33])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5, 16, 64])
+    def test_merge_roundtrip_any_worker_count(self, n, shards):
+        items = list(range(n))
+        chunks = shard_sequence(items, shards)
+        assert all(chunks), "no empty shards are emitted"
+        assert len(chunks) == min(shards, n)
+        assert merge_shards(chunks) == items
+
+    def test_hardware_sweep_roundtrip(self):
+        """The same helpers chunk flat accelerator-configuration sweeps."""
+        configs = list(enumerate_configs())
+        for shards in (1, 3, 8):
+            assert merge_shards(shard_sequence(configs, shards)) == configs
+
+    def test_deterministic(self):
+        assert shard_sequence(list(range(11)), 3) == shard_sequence(
+            list(range(11)), 3
+        )
+
+
+# ---------------------------------------------------------------------------
+# Replication payload
+# ---------------------------------------------------------------------------
+
+
+class TestReplicationPayload:
+    def test_strips_runtime_state_and_preserves_results(self, smoke_context):
+        import pickle
+
+        fast = smoke_context.fast_evaluator
+        payload = replication_payload(fast)
+        assert len(payload) < len(pickle.dumps(fast)) / 2, (
+            "stripping the forward/backward scratch should shrink the "
+            "payload by well over half"
+        )
+        replica = pickle.loads(payload)
+        genotypes = [p.genotype for p in _population(4, seed=5)]
+        assert replica.evaluate_accuracies(genotypes) == fast.evaluate_accuracies(
+            genotypes
+        )
+
+
+# ---------------------------------------------------------------------------
+# ParallelEvaluator
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pool_evaluator(smoke_context):
+    """A shared 2-worker evaluator (spawning a pool is the slow part)."""
+    evaluator = ParallelEvaluator(smoke_context.fast_evaluator, workers=2)
+    yield evaluator
+    evaluator.close()
+
+
+class TestParallelEvaluator:
+    def test_workers1_is_in_process(self, smoke_context):
+        points = _population(5, seed=11)
+        reference = BatchEvaluator(smoke_context.fast_evaluator).evaluate_many(points)
+        evaluator = ParallelEvaluator(smoke_context.fast_evaluator, workers=1)
+        assert evaluator.evaluate_many(points) == reference
+        assert evaluator.pool is None, "workers=1 must never spawn a pool"
+
+    def test_create_evaluator_factory(self, smoke_context):
+        fast = smoke_context.fast_evaluator
+        assert type(create_evaluator(fast, workers=1)) is BatchEvaluator
+        parallel = create_evaluator(fast, workers=2)
+        assert isinstance(parallel, ParallelEvaluator)
+        parallel.close()
+
+    def test_small_batch_below_min_dispatch_stays_local(self, smoke_context):
+        evaluator = ParallelEvaluator(
+            smoke_context.fast_evaluator, workers=2, min_dispatch=4
+        )
+        points = _population(2, seed=17)
+        reference = BatchEvaluator(smoke_context.fast_evaluator).evaluate_many(points)
+        assert evaluator.evaluate_many(points) == reference
+        assert evaluator.pool is None, (
+            "fewer unique cold genotypes than min_dispatch must not pay a "
+            "pool round-trip"
+        )
+
+    def test_bit_identical_to_batch_evaluator(self, smoke_context, pool_evaluator):
+        points = _population(8, seed=23)
+        points.append(points[0])  # intra-batch duplicate
+        reference = BatchEvaluator(smoke_context.fast_evaluator).evaluate_many(points)
+        assert pool_evaluator.evaluate_many(points) == reference
+
+    def test_warm_cache_skips_dispatch(self, smoke_context, pool_evaluator):
+        points = _population(6, seed=29)
+        first = pool_evaluator.evaluate_many(points)
+        assert pool_evaluator.pool is not None
+        batches_before = pool_evaluator.pool.batches
+        assert pool_evaluator.evaluate_many(points) == first
+        assert pool_evaluator.pool.batches == batches_before, (
+            "cache hits must never cross the process boundary"
+        )
+
+    def test_tokens_entry_point(self, smoke_context, pool_evaluator):
+        points = _population(5, seed=31)
+        tokens = [encode(p) for p in points]
+        reference = BatchEvaluator(smoke_context.fast_evaluator).evaluate_tokens(tokens)
+        assert pool_evaluator.evaluate_tokens(tokens) == reference
+
+    @pytest.mark.slow
+    def test_three_workers_same_bits(self, smoke_context):
+        points = _population(7, seed=37)
+        reference = BatchEvaluator(smoke_context.fast_evaluator).evaluate_many(points)
+        with ParallelEvaluator(smoke_context.fast_evaluator, workers=3) as evaluator:
+            assert evaluator.evaluate_many(points) == reference
+
+    def test_worker_crash_restarts_pool_without_losing_batch(self, smoke_context):
+        evaluator = ParallelEvaluator(smoke_context.fast_evaluator, workers=2)
+        try:
+            warmup = _population(4, seed=41)
+            reference_warm = BatchEvaluator(
+                smoke_context.fast_evaluator
+            ).evaluate_many(warmup)
+            assert evaluator.evaluate_many(warmup) == reference_warm
+            pids = evaluator.pool.worker_pids()
+            assert len(pids) == 2
+            os.kill(pids[0], signal.SIGKILL)
+            fresh = _population(5, seed=43)  # cold keys force a dispatch
+            reference = BatchEvaluator(
+                smoke_context.fast_evaluator
+            ).evaluate_many(fresh)
+            assert evaluator.evaluate_many(fresh) == reference
+            assert evaluator.pool_restarts >= 1
+            # The healed pool keeps serving.
+            more = _population(3, seed=47)
+            reference_more = BatchEvaluator(
+                smoke_context.fast_evaluator
+            ).evaluate_many(more)
+            assert evaluator.evaluate_many(more) == reference_more
+        finally:
+            evaluator.close()
+
+    def test_close_is_idempotent_and_reusable(self, smoke_context, pool_evaluator):
+        points = _population(3, seed=53)
+        reference = BatchEvaluator(smoke_context.fast_evaluator).evaluate_many(points)
+        pool_evaluator.close()
+        pool_evaluator.close()
+        # A closed evaluator lazily respawns its pool on the next cold batch.
+        assert pool_evaluator.evaluate_many(points) == reference
+
+
+# ---------------------------------------------------------------------------
+# Micro-batch scheduler
+# ---------------------------------------------------------------------------
+
+
+class _CountingEvaluator:
+    """Evaluator stub: records calls, optionally failing."""
+
+    def __init__(self, inner, fail: bool = False):
+        self.inner = inner
+        self.fail = fail
+        self.calls: list[int] = []
+
+    def evaluate_many(self, points):
+        self.calls.append(len(points))
+        if self.fail:
+            raise RuntimeError("boom")
+        return self.inner.evaluate_many(points)
+
+
+class TestMicroBatchScheduler:
+    def test_concurrent_submitters_coalesce_into_one_tick(self, smoke_context):
+        inner = _CountingEvaluator(BatchEvaluator(smoke_context.fast_evaluator))
+        scheduler = MicroBatchScheduler(inner, auto_start=False)
+        points = _population(8, seed=59)
+        reference = BatchEvaluator(smoke_context.fast_evaluator).evaluate_many(points)
+        chunks = [points[:3], points[3:5], points[5:8]]
+        futures: list = [None] * len(chunks)
+
+        def submit(i: int) -> None:
+            futures[i] = scheduler.submit(chunks[i])
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(len(chunks))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        served = scheduler.flush()
+        assert served == 3
+        assert scheduler.ticks == 1, "all pending requests coalesce into ONE batch"
+        assert inner.calls == [8], "the evaluator saw one merged batch"
+        assert futures[0].result() == reference[:3]
+        assert futures[1].result() == reference[3:5]
+        assert futures[2].result() == reference[5:8]
+
+    def test_auto_mode_is_a_drop_in_evaluator(self, smoke_context):
+        evaluator = BatchEvaluator(smoke_context.fast_evaluator)
+        points = _population(6, seed=61)
+        reference = evaluator.evaluate_many(points)
+        with MicroBatchScheduler(evaluator, tick_s=0.005) as scheduler:
+            assert scheduler.evaluate_many(points) == reference
+            assert scheduler.evaluate(points[0]) == reference[0]
+            futures = [scheduler.submit([p]) for p in points]
+            assert [f.result()[0] for f in futures] == reference
+        assert scheduler.ticks >= 1
+        assert scheduler.requests == 2 + len(points)
+
+    def test_max_batch_points_splits_ticks(self, smoke_context):
+        inner = _CountingEvaluator(BatchEvaluator(smoke_context.fast_evaluator))
+        scheduler = MicroBatchScheduler(inner, max_batch_points=4, auto_start=False)
+        points = _population(6, seed=67)
+        futures = [scheduler.submit(points[:3]), scheduler.submit(points[3:])]
+        scheduler.flush()
+        assert scheduler.ticks == 2, "the cap bounds each coalesced batch"
+        assert inner.calls == [3, 3]
+        assert [len(f.result()) for f in futures] == [3, 3]
+
+    def test_exception_propagates_to_every_coalesced_caller(self, smoke_context):
+        inner = _CountingEvaluator(
+            BatchEvaluator(smoke_context.fast_evaluator), fail=True
+        )
+        scheduler = MicroBatchScheduler(inner, auto_start=False)
+        points = _population(2, seed=71)
+        futures = [scheduler.submit([p]) for p in points]
+        scheduler.flush()
+        for future in futures:
+            assert isinstance(future.exception(), RuntimeError)
+        # The scheduler itself survives and keeps serving.
+        inner.fail = False
+        assert scheduler.evaluate_many(points) == BatchEvaluator(
+            smoke_context.fast_evaluator
+        ).evaluate_many(points)
+
+    def test_closed_scheduler_rejects_submissions(self, smoke_context):
+        scheduler = MicroBatchScheduler(
+            BatchEvaluator(smoke_context.fast_evaluator), auto_start=False
+        )
+        scheduler.close()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(_population(1, seed=73))
+
+    def test_validation(self, smoke_context):
+        evaluator = BatchEvaluator(smoke_context.fast_evaluator)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(evaluator, tick_s=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(evaluator, max_batch_points=0)
+
+
+# ---------------------------------------------------------------------------
+# Stack integration
+# ---------------------------------------------------------------------------
+
+
+class TestStackIntegration:
+    def test_get_context_workers_knob(self, smoke_context):
+        from repro.experiments import get_context
+
+        context = get_context("smoke", seed=0, workers=2)
+        try:
+            assert context is not smoke_context, "workers is part of the cache key"
+            assert context.workers == 2
+            assert isinstance(context.batch_evaluator, ParallelEvaluator)
+            assert context.fast_evaluator is smoke_context.fast_evaluator, (
+                "the expensive Step-1 artefacts are shared across worker "
+                "counts — only the evaluator wrapper differs"
+            )
+            assert get_context("smoke", seed=0, workers=2) is context
+            points = _population(5, seed=79)
+            assert (
+                context.batch_evaluator.evaluate_many(points)
+                == smoke_context.batch_evaluator.evaluate_many(points)
+            )
+        finally:
+            context.batch_evaluator.close()
+
+    @pytest.mark.slow
+    def test_quick_codesign_workers_bit_identical_pipeline(self):
+        """The whole 3-step pipeline is worker-count invariant."""
+        from repro import quick_codesign
+
+        serial = quick_codesign("smoke", seed=9, workers=1)
+        sharded = quick_codesign("smoke", seed=9, workers=2)
+        assert sharded.best.sample.tokens == serial.best.sample.tokens
+        assert sharded.best.accurate == serial.best.accurate
+        assert [c.sample.tokens for c in sharded.rescored] == [
+            c.sample.tokens for c in serial.rescored
+        ]
+        assert sharded.history.rewards().tolist() == serial.history.rewards().tolist()
