@@ -41,13 +41,21 @@ __all__ = [
 ]
 
 
-def quick_codesign(scale_name: str = "demo", seed: int = 0, workers: int = 1):
+def quick_codesign(
+    scale_name: str = "demo",
+    seed: int = 0,
+    workers: int = 1,
+    train_fast: bool = False,
+):
     """Run the full three-step YOSO pipeline at a small scale.
 
     Convenience entry point used by the quickstart example; returns a
     :class:`repro.search.YosoResult`.  ``workers > 1`` shards Step-2
-    candidate scoring across that many worker processes
-    (:mod:`repro.parallel`) with bit-identical results.
+    candidate scoring AND Step-3 top-N training across that many worker
+    processes (:mod:`repro.parallel`) with bit-identical results.
+    ``train_fast=True`` runs Step-3 training under the compact-cache
+    training kernels (same recipe, gradients matching the standard
+    kernels at rel 1e-6; off by default for paper fidelity).
     """
     from .experiments.common import demo_thresholds
     from .nn.data import SyntheticCifar
@@ -71,6 +79,7 @@ def quick_codesign(scale_name: str = "demo", seed: int = 0, workers: int = 1):
         topn=s.topn,
         rescore_epochs=s.standalone_epochs,
         workers=workers,
+        train_fast=train_fast,
         seed=seed,
     )
     # Thresholds scale with the workload; use the demo-calibrated values.

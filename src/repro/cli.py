@@ -21,14 +21,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for candidate scoring (1 = in-process; "
-             "search-driven commands only, results are bit-identical)")
+        help="worker processes for candidate scoring and stand-alone "
+             "training (1 = in-process; search/training-driven commands "
+             "only, results are bit-identical)")
+    parser.add_argument(
+        "--train-fast", action="store_true",
+        help="run stand-alone training under the compact-cache training "
+             "kernels (same recipe, gradients match the standard kernels "
+             "at rel 1e-6; default keeps the paper-fidelity kernels)")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     from repro import quick_codesign
 
-    result = quick_codesign(args.scale, seed=args.seed, workers=args.workers)
+    result = quick_codesign(args.scale, seed=args.seed, workers=args.workers,
+                            train_fast=args.train_fast)
     best = result.best
     print(f"final co-design : {best.point().describe()}")
     print(f"accuracy        : {best.accurate.accuracy:.3f}")
@@ -53,7 +60,8 @@ def cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments.fig5 import run_fig5a, run_fig5b
     from repro.experiments.plotting import line_chart, scatter_chart
 
-    context = get_context(args.scale, args.seed, workers=args.workers)
+    context = get_context(args.scale, args.seed, workers=args.workers,
+                          train_fast=args.train_fast)
     curve = run_fig5a(args.scale, args.seed, context=context)
     print(line_chart({"hypernet": curve.accuracy},
                      title="Fig 5(a): HyperNet training accuracy",
@@ -102,9 +110,11 @@ def cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments.common import get_context
     from repro.experiments.table2 import run_table2
 
-    context = get_context(args.scale, args.seed, workers=args.workers)
+    context = get_context(args.scale, args.seed, workers=args.workers,
+                          train_fast=args.train_fast)
     result = run_table2(args.scale, args.seed, context=context,
-                        iterations=args.iterations)
+                        iterations=args.iterations,
+                        rescore_training=args.rescore_training)
     print(result.to_text())
     return 0
 
@@ -150,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="two-stage comparison (Table 2 / Fig. 7)")
     _add_common(p)
     p.add_argument("--iterations", type=int, default=None)
+    p.add_argument(
+        "--rescore-training", action="store_true",
+        help="rescore the YOSO rows' top-N by stand-alone training "
+             "(sharded across --workers) instead of the HyperNet "
+             "re-measurement")
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser("space", help="search-space statistics")

@@ -55,8 +55,14 @@ class ExperimentContext:
     batch_evaluator: BatchEvaluator
     t_lat_ms: float
     t_eer_mj: float
-    #: Worker processes behind ``batch_evaluator`` (1 = in-process).
+    #: Worker processes behind ``batch_evaluator`` (1 = in-process).  Also
+    #: the shard width for the harnesses' stand-alone training pools
+    #: (table2's training rescore path).
     workers: int = 1
+    #: Run the harnesses' stand-alone trainings (fig5b correlation models,
+    #: table2 training rescore) under the compact-cache training kernels.
+    #: Off by default for paper fidelity.
+    train_fast: bool = False
 
     @property
     def num_cells(self) -> int:
@@ -67,7 +73,7 @@ class ExperimentContext:
         return self.scale.hypernet_channels
 
 
-_CACHE: dict[tuple[str, int, int], ExperimentContext] = {}
+_CACHE: dict[tuple[str, int, int, bool], ExperimentContext] = {}
 
 
 def clear_context_cache() -> None:
@@ -121,23 +127,30 @@ def scaled_reward(spec: RewardSpec, context: "ExperimentContext") -> RewardSpec:
 
 
 def get_context(
-    scale_name: str = "demo", seed: int = 0, workers: int = 1
+    scale_name: str = "demo",
+    seed: int = 0,
+    workers: int = 1,
+    train_fast: bool = False,
 ) -> ExperimentContext:
     """Build (or fetch) the shared experiment context for a scale.
 
     ``workers > 1`` backs the shared batch evaluator with the sharded
     multi-process engine (:func:`repro.parallel.create_evaluator`), so
     every experiment harness' candidate scoring fans out across worker
-    processes — with bit-identical results.  The expensive Step-1
-    artefacts (trained HyperNet, simulator samples, GP fits) are cached
-    per (scale, seed) and *shared* across worker counts: only the
-    evaluator wrapper differs, so asking for a new ``workers`` value on
-    an already-built context is near-free.
+    processes — with bit-identical results — and the harnesses'
+    stand-alone training pools shard their top-N trainings the same way.
+    ``train_fast=True`` runs those trainings under the compact-cache
+    training kernels (docs/PERFORMANCE.md, "Training path").  The
+    expensive Step-1 artefacts (trained HyperNet, simulator samples, GP
+    fits) are cached per (scale, seed) and *shared* across worker counts
+    and kernel modes: only the evaluator wrapper / flags differ, so
+    asking for a new ``workers`` or ``train_fast`` value on an
+    already-built context is near-free.
     """
-    key = (scale_name, seed, workers)
+    key = (scale_name, seed, workers, train_fast)
     if key in _CACHE:
         return _CACHE[key]
-    for (cached_scale, cached_seed, _w), base in _CACHE.items():
+    for (cached_scale, cached_seed, *_rest), base in _CACHE.items():
         if cached_scale == scale_name and cached_seed == seed:
             context = replace(
                 base,
@@ -145,6 +158,7 @@ def get_context(
                     base.fast_evaluator, workers=workers
                 ),
                 workers=workers,
+                train_fast=train_fast,
             )
             _CACHE[key] = context
             return context
@@ -209,6 +223,7 @@ def get_context(
         t_lat_ms=t_lat,
         t_eer_mj=t_eer,
         workers=workers,
+        train_fast=train_fast,
     )
     _CACHE[key] = context
     return context

@@ -157,11 +157,21 @@ def generate_report(
               "```"]
     if context.workers > 1:
         pool = getattr(evaluator, "pool", None)
+        threshold = getattr(evaluator, "dispatch_threshold", None)
+        if threshold is None:
+            threshold_desc = "the dispatch threshold"
+        else:
+            kind = (
+                "adaptive"
+                if getattr(evaluator, "tuner", None) is not None
+                else "fixed"
+            )
+            threshold_desc = f"the {kind} dispatch threshold of {threshold}"
         if pool is None:
             parts += ["",
                       f"Parallel engine: {context.workers} workers configured, "
                       f"pool never spawned (every batch stayed below "
-                      f"min_dispatch — see docs/PERFORMANCE.md)."]
+                      f"{threshold_desc} — see docs/PERFORMANCE.md)."]
         else:
             parts += ["",
                       f"Parallel engine: {context.workers} workers, "
@@ -169,7 +179,8 @@ def generate_report(
                       f"({pool.items} cold genotypes sharded), "
                       f"{pool.restarts} pool restarts, "
                       f"replication payload "
-                      f"{pool.payload_bytes / 1e6:.1f} MB/worker."]
+                      f"{pool.payload_bytes / 1e6:.1f} MB/worker; "
+                      f"{threshold_desc} applied."]
     return "\n".join(parts) + "\n"
 
 

@@ -32,6 +32,16 @@ __all__ = [
     "maxpool2d_infer",
     "avgpool2d_infer",
     "batchnorm_infer",
+    "conv2d_forward_fast",
+    "conv2d_backward_fast",
+    "depthwise_conv2d_forward_fast",
+    "depthwise_conv2d_backward_fast",
+    "maxpool2d_forward_fast",
+    "maxpool2d_backward_fast",
+    "avgpool2d_forward_fast",
+    "avgpool2d_backward_fast",
+    "batchnorm_forward_fast",
+    "batchnorm_backward_fast",
     "relu_forward",
     "relu_backward",
     "batchnorm_forward",
@@ -576,6 +586,431 @@ def global_avgpool_backward(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
     return np.broadcast_to(
         (grad_out / (h * w))[:, :, None, None], x_shape
     ).astype(grad_out.dtype, copy=True)
+
+
+# ---------------------------------------------------------------------------
+# Compact-cache training kernels (the `train_fast` mode)
+# ---------------------------------------------------------------------------
+#
+# The standard training kernels above hold the full im2col column tensor
+# (K*K times the input) from forward to backward.  The `*_fast` variants
+# keep only O(input) state and adopt the inference tricks where a backward
+# pass still exists:
+#
+# * pointwise (1x1) convolution never builds columns in either direction —
+#   forward is one matmul on the (reshaped) input, backward is one matmul
+#   plus an einsum, and grad_x for strided 1x1 is a direct scatter;
+# * K>1 convolutions build columns with the one-copy sliding-window view,
+#   chunked along the batch axis to stay cache-sized; the columns are
+#   cached for backward only while they fit `_TRAIN_CACHE_ELEMS` (stored
+#   float32), otherwise backward recomputes them chunk by chunk — the
+#   per-layer cache is bounded instead of growing K*K-fold with the input;
+# * pooling caches a boolean first-max mask (max) or nothing (average) and
+#   runs backward as K*K shifted masked adds — no float column tensor, no
+#   argmax/put_along_axis traversals.
+#
+# Numerics: conv/max-pool forwards are bitwise identical to the standard
+# kernels (identical columns, per-sample matmul, associative max);
+# depthwise/average forwards re-associate the window reduction and agree
+# to float round-off.  Backward gradients match the standard kernels to
+# float round-off (chunked or float32-demoted accumulation re-associates
+# sums); `tests/test_nn_fast_kernels.py` pins parity at relative 1e-6.
+
+#: Column-cache budget (elements) for the fast training convolutions: a
+#: forward whose full column tensor fits is cached (float32) for backward
+#: reuse; anything larger is recomputed chunk by chunk in backward.  Keeps
+#: every layer's backward state under ~16 MB at any scale.
+_TRAIN_CACHE_ELEMS = 4_000_000
+
+
+def _train_cols(xp: np.ndarray, kernel: int, stride: int, oh: int, ow: int) -> np.ndarray:
+    """Contiguous ``(N, C*K*K, OH*OW)`` columns via ONE sliding-window copy
+    (bitwise-identical to :func:`im2col`, ~1.4x faster)."""
+    n, c = xp.shape[:2]
+    win = _window_view(xp, kernel, stride, oh, ow)
+    return np.ascontiguousarray(win).reshape(n, c * kernel * kernel, oh * ow)
+
+
+def conv2d_forward_fast(
+    x: np.ndarray, weight: np.ndarray, stride: int, pad: int
+) -> tuple[np.ndarray, tuple]:
+    """Compact-cache convolution forward (same values as :func:`conv2d_forward`).
+
+    The cache holds a *reference* to ``x`` (already alive in the caller)
+    plus, for K>1 layers under the column budget, a float32 copy of the
+    columns; it never holds the unbounded full-precision column tensor.
+    """
+    n, c, h, w = x.shape
+    k, cw, r, s = weight.shape
+    if cw != c or r != s:
+        raise ValueError(f"weight shape {weight.shape} incompatible with input {x.shape}")
+    oh = conv_out_size(h, r, stride, pad)
+    ow = conv_out_size(w, r, stride, pad)
+    if r == 1 and pad == 0:
+        src = x if stride == 1 else x[:, :, ::stride, ::stride]
+        cols = np.ascontiguousarray(src).reshape(n, c, oh * ow)
+        out = np.matmul(weight.reshape(k, c), cols)
+        return out.reshape(n, k, oh, ow), (x, weight, stride, pad, None)
+    w2 = weight.reshape(k, -1)
+    out = np.empty((n, k, oh, ow), dtype=x.dtype)
+    total = n * c * r * r * oh * ow
+    if total <= _TRAIN_CACHE_ELEMS:
+        cols = _train_cols(_pad2d(x, pad), r, stride, oh, ow)
+        np.matmul(w2, cols, out=out.reshape(n, k, oh * ow))
+        stored = cols if cols.dtype == np.float32 else cols.astype(np.float32)
+        return out, (x, weight, stride, pad, stored)
+    step = _infer_row_chunk(c, r, oh, ow)
+    for lo in range(0, n, step):
+        cols = _train_cols(_pad2d(x[lo : lo + step], pad), r, stride, oh, ow)
+        np.matmul(
+            w2, cols, out=out[lo : lo + step].reshape(cols.shape[0], k, oh * ow)
+        )
+    return out, (x, weight, stride, pad, None)
+
+
+def _grad_w_conv(g3: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """``grad_w[k, q] = sum_n g3[n] @ cols[n].T`` — as one batched matmul
+    plus a pairwise batch sum when the ``(N, K, Q)`` intermediate fits the
+    cache budget (BLAS with a native transposed operand beats einsum's
+    per-sample bmm dispatch by 2-3x at small Q), einsum otherwise."""
+    n, k, _ = g3.shape
+    q = cols.shape[1]
+    if n * k * q <= _TRAIN_CACHE_ELEMS:
+        return np.matmul(g3, cols.swapaxes(1, 2)).sum(axis=0)
+    return np.einsum("nkp,nqp->kq", g3, cols, optimize=True)
+
+
+def _grad_w_depthwise(g3: np.ndarray, cols4: np.ndarray) -> np.ndarray:
+    """``grad_w[c, t] = sum_{n,p} g3[n,c,p] * cols4[n,c,t,p]`` — one batched
+    matmul against the column tensor plus a pairwise batch sum (the
+    ``(N, C, T, 1)`` intermediate is always tiny)."""
+    return np.matmul(cols4, g3[:, :, :, None]).sum(axis=0)[:, :, 0]
+
+
+def _conv_grad_x_s1(
+    grad_out: np.ndarray, weight: np.ndarray, pad: int, h: int, w: int
+) -> np.ndarray:
+    """grad_x of a stride-1 convolution as a transposed convolution: ONE
+    window copy of the padded output gradient and ONE matmul — no scattered
+    col2im adds.  Mathematically identical to the col2im route (the dot
+    products re-associate the same terms)."""
+    n, k, oh, ow = grad_out.shape
+    c, r = weight.shape[1], weight.shape[2]
+    wflip = np.ascontiguousarray(
+        weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+    ).reshape(c, k * r * r)
+    gp = _pad2d(grad_out, r - 1 - pad)
+    cols = _train_cols(gp, r, 1, h, w)
+    return np.matmul(wflip, cols).reshape(n, c, h, w)
+
+
+def _depthwise_grad_x_s1(
+    grad_out: np.ndarray, weight: np.ndarray, pad: int, h: int, w: int
+) -> np.ndarray:
+    """grad_x of a stride-1 depthwise convolution as a transposed depthwise
+    convolution (one window copy + one matmul per channel batch)."""
+    n, c, oh, ow = grad_out.shape
+    r = weight.shape[1]
+    wflip = np.ascontiguousarray(weight[:, ::-1, ::-1]).reshape(1, c, 1, r * r)
+    gp = _pad2d(grad_out, r - 1 - pad)
+    cols = _train_cols(gp, r, 1, h, w).reshape(n, c, r * r, h * w)
+    out = np.empty((n, c, 1, h * w), dtype=grad_out.dtype)
+    np.matmul(wflip.astype(grad_out.dtype, copy=False), cols, out=out)
+    return out.reshape(n, c, h, w)
+
+
+def conv2d_backward_fast(
+    grad_out: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray]:
+    """Backward of :func:`conv2d_forward_fast`: columns are reused from the
+    bounded cache or recomputed chunk by chunk — never held at full size —
+    and stride-1 grad_x runs as a transposed convolution instead of the
+    scattered col2im adds."""
+    x, weight, stride, pad, stored = cache
+    n, c, h, w = x.shape
+    k = weight.shape[0]
+    r = weight.shape[2]
+    oh, ow = grad_out.shape[2], grad_out.shape[3]
+    g = grad_out.reshape(n, k, oh * ow)
+    if r == 1 and pad == 0:
+        src = x if stride == 1 else x[:, :, ::stride, ::stride]
+        xc = np.ascontiguousarray(src).reshape(n, c, oh * ow)
+        grad_w = _grad_w_conv(g, xc).reshape(weight.shape)
+        gx = np.matmul(weight.reshape(k, c).T, g)
+        if stride == 1:
+            return gx.reshape(n, c, h, w), grad_w
+        grad_x = np.zeros_like(x)
+        grad_x[:, :, ::stride, ::stride] = gx.reshape(n, c, oh, ow)
+        return grad_x, grad_w
+    transposed = stride == 1 and pad < r  # _pad2d needs r - 1 - pad >= 0
+    if stored is not None:
+        grad_w = _grad_w_conv(g, stored).reshape(weight.shape)
+        if transposed:
+            return _conv_grad_x_s1(grad_out, weight, pad, h, w), grad_w
+        grad_cols = np.matmul(weight.reshape(k, -1).T, g)
+        return col2im(grad_cols, x.shape, r, stride, pad), grad_w
+    w2t = weight.reshape(k, -1).T
+    grad_x = np.empty_like(x)
+    grad_w = np.zeros((k, c * r * r), dtype=grad_out.dtype)
+    step = _infer_row_chunk(c, r, oh, ow)
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        cols = _train_cols(_pad2d(x[lo:hi], pad), r, stride, oh, ow)
+        gc = g[lo:hi]
+        grad_w += _grad_w_conv(gc, cols)
+        if transposed:
+            grad_x[lo:hi] = _conv_grad_x_s1(
+                grad_out[lo:hi], weight, pad, h, w
+            )
+        else:
+            grad_cols = np.matmul(w2t, gc)
+            grad_x[lo:hi] = col2im(grad_cols, (hi - lo, c, h, w), r, stride, pad)
+    return grad_x, grad_w.reshape(weight.shape).astype(weight.dtype, copy=False)
+
+
+def depthwise_conv2d_forward_fast(
+    x: np.ndarray, weight: np.ndarray, stride: int, pad: int
+) -> tuple[np.ndarray, tuple]:
+    """Compact-cache depthwise forward (values match
+    :func:`depthwise_conv2d_forward` to float round-off)."""
+    n, c, h, w = x.shape
+    cw, r, s = weight.shape
+    if cw != c or r != s:
+        raise ValueError(f"weight shape {weight.shape} incompatible with input {x.shape}")
+    oh = conv_out_size(h, r, stride, pad)
+    ow = conv_out_size(w, r, stride, pad)
+    w3 = np.ascontiguousarray(weight.reshape(1, c, 1, r * r)).astype(x.dtype, copy=False)
+    out = np.empty((n, c, oh, ow), dtype=x.dtype)
+    total = n * c * r * r * oh * ow
+    if total <= _TRAIN_CACHE_ELEMS:
+        cols = _train_cols(_pad2d(x, pad), r, stride, oh, ow)
+        cols4 = cols.reshape(n, c, r * r, oh * ow)
+        np.matmul(w3, cols4, out=out.reshape(n, c, 1, oh * ow))
+        stored = cols if cols.dtype == np.float32 else cols.astype(np.float32)
+        return out, (x, weight, stride, pad, stored)
+    step = _infer_row_chunk(c, r, oh, ow)
+    for lo in range(0, n, step):
+        cols = _train_cols(_pad2d(x[lo : lo + step], pad), r, stride, oh, ow)
+        rows = cols.shape[0]
+        np.matmul(
+            w3,
+            cols.reshape(rows, c, r * r, oh * ow),
+            out=out[lo : lo + step].reshape(rows, c, 1, oh * ow),
+        )
+    return out, (x, weight, stride, pad, None)
+
+
+def depthwise_conv2d_backward_fast(
+    grad_out: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray]:
+    """Backward of :func:`depthwise_conv2d_forward_fast`."""
+    x, weight, stride, pad, stored = cache
+    n, c, h, w = x.shape
+    r = weight.shape[1]
+    oh, ow = grad_out.shape[2], grad_out.shape[3]
+    g = grad_out.reshape(n, c, oh * ow)
+    wcol = weight.reshape(1, c, r * r, 1)
+    transposed = stride == 1 and pad < r  # _pad2d needs r - 1 - pad >= 0
+    if stored is not None:
+        cols4 = stored.reshape(n, c, r * r, oh * ow)
+        grad_w = _grad_w_depthwise(g, cols4).reshape(weight.shape)
+        if transposed:
+            return _depthwise_grad_x_s1(grad_out, weight, pad, h, w), grad_w
+        grad_cols = g[:, :, None, :] * wcol
+        grad_x = col2im(grad_cols.reshape(n, c * r * r, -1), x.shape, r, stride, pad)
+        return grad_x, grad_w
+    grad_x = np.empty_like(x)
+    grad_w = np.zeros((c, r * r), dtype=grad_out.dtype)
+    step = _infer_row_chunk(c, r, oh, ow)
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        cols = _train_cols(_pad2d(x[lo:hi], pad), r, stride, oh, ow)
+        cols4 = cols.reshape(hi - lo, c, r * r, oh * ow)
+        gc = g[lo:hi]
+        grad_w += _grad_w_depthwise(gc, cols4)
+        if transposed:
+            grad_x[lo:hi] = _depthwise_grad_x_s1(
+                grad_out[lo:hi], weight, pad, h, w
+            )
+        else:
+            grad_cols = gc[:, :, None, :] * wcol
+            grad_x[lo:hi] = col2im(
+                grad_cols.reshape(hi - lo, c * r * r, -1),
+                (hi - lo, c, h, w),
+                r,
+                stride,
+                pad,
+            )
+    return grad_x, grad_w.reshape(weight.shape).astype(weight.dtype, copy=False)
+
+
+def maxpool2d_forward_fast(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> tuple[np.ndarray, tuple]:
+    """Compact-cache max pooling: separable forward (bitwise-identical to
+    :func:`maxpool2d_forward`) plus a boolean first-max mask for backward —
+    no float column tensor, no argmax traversal.
+
+    The mask marks, per window, the first cell (in the standard kernel's
+    ``(ki, kj)`` scan order) that attains the window maximum, so gradient
+    routing is exactly the argmax routing of the standard kernel, ties
+    included.
+    """
+    out = maxpool2d_infer(x, kernel, stride, pad)
+    n, c, h, w = x.shape
+    oh, ow = out.shape[2], out.shape[3]
+    mask = np.empty((n, c, kernel * kernel, oh, ow), dtype=bool)
+    step = _pool_row_chunk(c, oh, ow)
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        xp = _pad2d(x[lo:hi], pad, value=-np.inf)
+        target = out[lo:hi]
+        taken = np.zeros((hi - lo, c, oh, ow), dtype=bool)
+        idx = 0
+        for ki in range(kernel):
+            h_end = ki + stride * oh
+            for kj in range(kernel):
+                w_end = kj + stride * ow
+                # Elementwise compare on the strided window view — no
+                # column copies anywhere in the mask build.
+                hit = xp[:, :, ki:h_end:stride, kj:w_end:stride] == target
+                hit &= ~taken
+                mask[lo:hi, :, idx] = hit
+                taken |= hit
+                idx += 1
+    cache = (mask, x.shape, kernel, stride, pad)
+    return out, cache
+
+
+def _tap_span(k_off: int, stride: int, pad: int, size: int, out_size: int):
+    """Valid output-index range [t0, t1) of one pooling tap: positions whose
+    padded coordinate ``k_off + stride*t`` lands inside the unpadded image.
+    Returns ``(t0, t1, lo)`` with ``lo`` the unpadded start coordinate."""
+    t0 = max(0, -(-(pad - k_off) // stride))  # ceil division
+    t1 = min(out_size, (pad + size - 1 - k_off) // stride + 1)
+    return t0, t1, k_off + stride * t0 - pad
+
+
+def maxpool2d_backward_fast(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    """Backward of :func:`maxpool2d_forward_fast`: K*K shifted masked adds,
+    clipped to the unpadded image (same sums, in the same order, as the
+    standard kernel's put_along_axis + col2im — taps landing in the padding
+    are discarded there too).  The result is contiguous and no padded
+    buffer is ever allocated."""
+    mask, x_shape, kernel, stride, pad = cache
+    n, c, h, w = x_shape
+    oh, ow = grad_out.shape[2], grad_out.shape[3]
+    gx = np.zeros((n, c, h, w), dtype=grad_out.dtype)
+    scratch = np.empty((n, c, oh, ow), dtype=grad_out.dtype)
+    idx = 0
+    for ki in range(kernel):
+        i0, i1, ilo = _tap_span(ki, stride, pad, h, oh)
+        for kj in range(kernel):
+            j0, j1, jlo = _tap_span(kj, stride, pad, w, ow)
+            np.multiply(grad_out, mask[:, :, idx], out=scratch)
+            gx[
+                :,
+                :,
+                ilo : ilo + stride * (i1 - i0) : stride,
+                jlo : jlo + stride * (j1 - j0) : stride,
+            ] += scratch[:, :, i0:i1, j0:j1]
+            idx += 1
+    return gx
+
+
+def avgpool2d_forward_fast(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> tuple[np.ndarray, tuple]:
+    """Compact-cache average pooling: separable forward (matches
+    :func:`avgpool2d_forward` to float round-off), geometry-only cache."""
+    out = avgpool2d_infer(x, kernel, stride, pad)
+    return out, (x.shape, kernel, stride, pad)
+
+
+def avgpool2d_backward_fast(grad_out: np.ndarray, cache: tuple) -> np.ndarray:
+    """Backward of :func:`avgpool2d_forward_fast`: K*K shifted adds of the
+    uniformly spread gradient, clipped to the unpadded image — no broadcast
+    column tensor, no padded buffer (bitwise-identical to
+    :func:`avgpool2d_backward`, whose padding-region adds are discarded)."""
+    x_shape, kernel, stride, pad = cache
+    n, c, h, w = x_shape
+    oh, ow = grad_out.shape[2], grad_out.shape[3]
+    g = grad_out / (kernel * kernel)
+    gx = np.zeros((n, c, h, w), dtype=grad_out.dtype)
+    for ki in range(kernel):
+        i0, i1, ilo = _tap_span(ki, stride, pad, h, oh)
+        for kj in range(kernel):
+            j0, j1, jlo = _tap_span(kj, stride, pad, w, ow)
+            gx[
+                :,
+                :,
+                ilo : ilo + stride * (i1 - i0) : stride,
+                jlo : jlo + stride * (j1 - j0) : stride,
+            ] += g[:, :, i0:i1, j0:j1]
+    return gx
+
+
+def batchnorm_forward_fast(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    momentum: float,
+    eps: float,
+    training: bool,
+) -> tuple[np.ndarray, tuple | None]:
+    """Lean training-mode batch norm: the centred tensor is normalised in
+    place (it becomes the cached ``xhat``) and the variance reduces through
+    one einsum — three fewer full-size temporaries than
+    :func:`batchnorm_forward`, same values to float round-off, same cache
+    layout.  Eval mode delegates to the standard kernel."""
+    if not training:
+        return batchnorm_forward(
+            x, gamma, beta, running_mean, running_var, momentum, eps, False
+        )
+    mean = x.mean(axis=(0, 2, 3))
+    xhat = x - mean.astype(x.dtype)[None, :, None, None]
+    # One scratch buffer serves the squared deviations AND the output; the
+    # reductions go through numpy's pairwise-summing mean (an einsum would
+    # accumulate sequentially and lose ~1e-3 of the float32 variance).
+    scratch = np.square(xhat)
+    var = scratch.mean(axis=(0, 2, 3))
+    running_mean *= 1.0 - momentum
+    running_mean += momentum * mean
+    running_var *= 1.0 - momentum
+    running_var += momentum * var
+    inv_std = (1.0 / np.sqrt(var + eps)).astype(x.dtype)
+    xhat *= inv_std[None, :, None, None]
+    np.multiply(gamma.astype(x.dtype)[None, :, None, None], xhat, out=scratch)
+    scratch += beta.astype(x.dtype)[None, :, None, None]
+    return scratch, (xhat, inv_std, gamma)
+
+
+def batchnorm_backward_fast(
+    grad_out: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward of training-mode batch norm with ONE reused scratch buffer
+    and in-place accumulation (``gxhat`` becomes grad_x) — three fewer
+    full-size temporaries than :func:`batchnorm_backward`.  All reductions
+    stay on numpy's pairwise-summing paths, so values match the standard
+    kernel to float round-off; works on either forward's cache."""
+    xhat, inv_std, gamma = cache
+    n, c, h, w = grad_out.shape
+    m = n * h * w
+    dtype = grad_out.dtype
+    scratch = grad_out * xhat
+    grad_gamma = scratch.sum(axis=(0, 2, 3))
+    grad_beta = grad_out.sum(axis=(0, 2, 3))
+    gxhat = grad_out * gamma.astype(dtype)[None, :, None, None]
+    sum_g = gxhat.sum(axis=(0, 2, 3))
+    np.multiply(gxhat, xhat, out=scratch)
+    sum_gx = scratch.sum(axis=(0, 2, 3))
+    gxhat -= (sum_g / m).astype(dtype)[None, :, None, None]
+    np.multiply(xhat, (sum_gx / m).astype(dtype)[None, :, None, None], out=scratch)
+    gxhat -= scratch
+    gxhat *= inv_std[None, :, None, None]
+    return gxhat, grad_gamma.astype(gamma.dtype, copy=False), grad_beta
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,8 @@ from .module import Module, Parameter, init_kaiming, init_ones, init_zeros
 
 __all__ = [
     "bn_segments",
+    "train_fast",
+    "train_fast_enabled",
     "Conv2d",
     "DepthwiseConv2d",
     "SeparableConv2d",
@@ -37,6 +39,42 @@ __all__ = [
 #: should normalise independently (1 = plain batch norm).  Set via
 #: :func:`bn_segments`; read at call time so the scope nests correctly.
 _BN_SEGMENTS: int = 1
+
+
+#: Whether conv/pool layers should run the compact-cache training kernels
+#: (see the ``*_fast`` family in :mod:`repro.nn.functional`).  Off by
+#: default for paper fidelity; set via :func:`train_fast`, read at forward
+#: time so the scope nests correctly.
+_TRAIN_FAST: bool = False
+
+
+@contextmanager
+def train_fast(enabled: bool = True):
+    """Scope under which conv/pool layers use the compact-cache training
+    kernels (``conv2d_forward_fast`` & friends).
+
+    Inside the scope forwards keep only O(input) backward state — no full
+    im2col column tensors, boolean first-max masks for pooling — and each
+    layer's backward dispatches to the matching fast kernel (the choice is
+    latched per forward, so a forward inside the scope pairs with the fast
+    backward even if the scope has been exited in between).  Values match
+    the standard kernels to float round-off (conv/max-pool forwards are
+    bitwise identical); gradients agree at relative 1e-6 — see
+    ``tests/test_nn_fast_kernels.py`` and docs/PERFORMANCE.md ("Training
+    path").  The default mode everywhere stays the standard kernels.
+    """
+    global _TRAIN_FAST
+    previous = _TRAIN_FAST
+    _TRAIN_FAST = bool(enabled)
+    try:
+        yield
+    finally:
+        _TRAIN_FAST = previous
+
+
+def train_fast_enabled() -> bool:
+    """Whether the compact-cache training kernels are active in this scope."""
+    return _TRAIN_FAST
 
 
 @contextmanager
@@ -84,13 +122,24 @@ class Conv2d(Module):
         self.pad = F.pad_same(kernel) if pad is None else pad
         self.weight = Parameter(init_kaiming((out_channels, in_channels, kernel, kernel), rng))
         self._cache: tuple | None = None
+        self._fast = False
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        self._fast = _TRAIN_FAST
+        if self._fast:
+            if not self.training:  # no backward coming: skip the cache
+                self._cache = None
+                return F.conv2d_infer(x, self.weight.data, self.stride, self.pad)
+            out, self._cache = F.conv2d_forward_fast(
+                x, self.weight.data, self.stride, self.pad
+            )
+            return out
         out, self._cache = F.conv2d_forward(x, self.weight.data, self.stride, self.pad)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        grad_x, grad_w = F.conv2d_backward(grad_out, self._cache)
+        bwd = F.conv2d_backward_fast if self._fast else F.conv2d_backward
+        grad_x, grad_w = bwd(grad_out, self._cache)
         self.weight.grad += grad_w
         return grad_x
 
@@ -114,13 +163,30 @@ class DepthwiseConv2d(Module):
         self.pad = F.pad_same(kernel) if pad is None else pad
         self.weight = Parameter(init_kaiming((channels, kernel, kernel), rng))
         self._cache: tuple | None = None
+        self._fast = False
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, self._cache = F.depthwise_conv2d_forward(x, self.weight.data, self.stride, self.pad)
+        self._fast = _TRAIN_FAST
+        if self._fast:
+            if not self.training:  # no backward coming: skip the cache
+                self._cache = None
+                return F.depthwise_conv2d_infer(
+                    x, self.weight.data, self.stride, self.pad
+                )
+            out, self._cache = F.depthwise_conv2d_forward_fast(
+                x, self.weight.data, self.stride, self.pad
+            )
+            return out
+        out, self._cache = F.depthwise_conv2d_forward(
+            x, self.weight.data, self.stride, self.pad
+        )
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        grad_x, grad_w = F.depthwise_conv2d_backward(grad_out, self._cache)
+        bwd = (
+            F.depthwise_conv2d_backward_fast if self._fast else F.depthwise_conv2d_backward
+        )
+        grad_x, grad_w = bwd(grad_out, self._cache)
         self.weight.grad += grad_w
         return grad_x
 
@@ -161,8 +227,22 @@ class BatchNorm2d(Module):
         self.running_mean = np.zeros(channels, dtype=np.float32)
         self.running_var = np.ones(channels, dtype=np.float32)
         self._cache: tuple | None = None
+        self._fast = False
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        self._fast = _TRAIN_FAST
+        if self._fast and self.training and _BN_SEGMENTS == 1:
+            out, self._cache = F.batchnorm_forward_fast(
+                x,
+                self.gamma.data,
+                self.beta.data,
+                self.running_mean,
+                self.running_var,
+                self.momentum,
+                self.eps,
+                self.training,
+            )
+            return out
         out, self._cache = F.batchnorm_forward(
             x,
             self.gamma.data,
@@ -179,7 +259,8 @@ class BatchNorm2d(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called in eval mode")
-        grad_x, grad_gamma, grad_beta = F.batchnorm_backward(grad_out, self._cache)
+        bwd = F.batchnorm_backward_fast if self._fast else F.batchnorm_backward
+        grad_x, grad_gamma, grad_beta = bwd(grad_out, self._cache)
         self.gamma.grad += grad_gamma
         self.beta.grad += grad_beta
         return grad_x
@@ -191,6 +272,9 @@ class ReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if _TRAIN_FAST and not self.training:  # no backward coming: skip the mask
+            self._mask = None
+            return np.maximum(x, 0.0)
         out, self._mask = F.relu_forward(x)
         return out
 
@@ -205,13 +289,24 @@ class MaxPool2d(Module):
         self.stride = stride
         self.pad = F.pad_same(kernel) if pad is None else pad
         self._cache: tuple | None = None
+        self._fast = False
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        self._fast = _TRAIN_FAST
+        if self._fast:
+            if not self.training:  # no backward coming: skip the mask
+                self._cache = None
+                return F.maxpool2d_infer(x, self.kernel, self.stride, self.pad)
+            out, self._cache = F.maxpool2d_forward_fast(
+                x, self.kernel, self.stride, self.pad
+            )
+            return out
         out, self._cache = F.maxpool2d_forward(x, self.kernel, self.stride, self.pad)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return F.maxpool2d_backward(grad_out, self._cache)
+        bwd = F.maxpool2d_backward_fast if self._fast else F.maxpool2d_backward
+        return bwd(grad_out, self._cache)
 
 
 class AvgPool2d(Module):
@@ -221,13 +316,20 @@ class AvgPool2d(Module):
         self.stride = stride
         self.pad = F.pad_same(kernel) if pad is None else pad
         self._cache: tuple | None = None
+        self._fast = False
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out, self._cache = F.avgpool2d_forward(x, self.kernel, self.stride, self.pad)
+        self._fast = _TRAIN_FAST
+        if self._fast and not self.training:
+            self._cache = None
+            return F.avgpool2d_infer(x, self.kernel, self.stride, self.pad)
+        fwd = F.avgpool2d_forward_fast if self._fast else F.avgpool2d_forward
+        out, self._cache = fwd(x, self.kernel, self.stride, self.pad)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return F.avgpool2d_backward(grad_out, self._cache)
+        bwd = F.avgpool2d_backward_fast if self._fast else F.avgpool2d_backward
+        return bwd(grad_out, self._cache)
 
 
 class GlobalAvgPool(Module):

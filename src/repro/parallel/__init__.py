@@ -22,22 +22,38 @@ keeping results bit-identical to the single-process engine.
 * :mod:`repro.parallel.scheduler` — :class:`MicroBatchScheduler`:
   coalesces concurrent ``evaluate`` requests from many search threads or
   service clients into one sharded batch per tick.
+* :mod:`repro.parallel.training` — the second task type:
+  :class:`TrainingPool` replicates an
+  :class:`~repro.search.evaluator.AccurateEvaluator` (dataset + recipe)
+  per worker and runs independent Step-3 ``train_accuracy`` jobs
+  concurrently; :func:`train_accuracies` is the serial/sharded entry
+  point, bit-identical to the serial loop at any worker count.
 
 Every search strategy reaches this engine through the ``workers`` knob on
 :class:`~repro.search.yoso.YosoConfig`, ``get_context(...)`` or the
-``--workers`` CLI flags; see docs/PERFORMANCE.md for the execution model
-and when workers lose to in-process.
+``--workers`` CLI flags (which also shard Step-3 top-N training); see
+docs/PERFORMANCE.md for the execution model and when workers lose to
+in-process.
 """
 
-from .evaluator import ParallelEvaluator, create_evaluator
-from .pool import EvaluatorPool, ShardResult, WorkItem, replication_payload
+from .evaluator import DispatchTuner, ParallelEvaluator, create_evaluator
+from .pool import (
+    EvaluatorPool,
+    ShardResult,
+    WorkerPool,
+    WorkItem,
+    replication_payload,
+)
 from .scheduler import MicroBatchScheduler
 from .sharder import merge_shards, shard_bounds, shard_sequence
+from .training import TrainingJob, TrainingPool, train_accuracies, training_payload
 
 __all__ = [
+    "DispatchTuner",
     "ParallelEvaluator",
     "create_evaluator",
     "EvaluatorPool",
+    "WorkerPool",
     "WorkItem",
     "ShardResult",
     "replication_payload",
@@ -45,4 +61,8 @@ __all__ = [
     "shard_bounds",
     "shard_sequence",
     "merge_shards",
+    "TrainingJob",
+    "TrainingPool",
+    "train_accuracies",
+    "training_payload",
 ]

@@ -30,6 +30,7 @@ paths carry zero lifecycle baggage.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Sequence
 
@@ -41,7 +42,108 @@ from ..search.evaluator import BatchEvaluator, FastEvaluator
 from .pool import EvaluatorPool, WorkItem, compute_work_items
 from .sharder import shard_sequence
 
-__all__ = ["ParallelEvaluator", "create_evaluator"]
+__all__ = ["DispatchTuner", "ParallelEvaluator", "create_evaluator"]
+
+
+class DispatchTuner:
+    """Adaptive dispatch threshold from the session's measured costs.
+
+    "Is this cold batch worth a pool round-trip?" depends on two measured
+    quantities: the in-process cost per cold item (``item_s``, from
+    batches that ran locally) and the pool's fixed per-dispatch overhead
+    (``overhead_s``: IPC, pickling, shard bookkeeping — measured as the
+    part of a dispatch's wall time the sharded compute does not explain).
+    With ``w`` workers a dispatch of ``n`` items costs about
+    ``overhead_s + ceil(n / w) * item_s`` against ``n * item_s``
+    in-process, so the pool wins beyond::
+
+        n* = overhead_s * w / (item_s * (w - 1))
+
+    Cheap demo-scale genotypes (tiny ``item_s``) therefore need larger
+    cold batches to amortise a round-trip than expensive paper-scale ones
+    — the ROADMAP observation this class automates.  Until both
+    quantities have been observed the configured ``initial`` threshold
+    applies (2, the engine's former fixed default).  Estimates are
+    exponential moving averages, so a session's threshold tracks drifting
+    machine load.
+
+    Sessions whose cold batches are always at or above the threshold
+    would never produce a local sample (the local path is what measures
+    ``item_s``), so :meth:`wants_probe` asks for ONE bounded in-process
+    calibration batch (at most ``probe_cap`` items) before the first
+    dispatch — values are identical either way, and it is the sample that
+    lets every later pool dispatch calibrate the overhead.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        initial: int = 2,
+        floor: int = 2,
+        ceiling: int = 256,
+        ema: float = 0.5,
+        probe_cap: int = 32,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("a dispatch threshold needs >= 2 workers")
+        if not 0.0 < ema <= 1.0:
+            raise ValueError("ema must be in (0, 1]")
+        self.workers = workers
+        self.initial = initial
+        self.floor = floor
+        self.ceiling = ceiling
+        self.ema = ema
+        self.probe_cap = probe_cap
+        self.local_item_s: float | None = None
+        self.pool_overhead_s: float | None = None
+        self.local_samples = 0
+        self.pool_samples = 0
+
+    def wants_probe(self, items: int) -> bool:
+        """Whether this cold batch should run in-process once to calibrate
+        the per-item cost (no local sample yet, batch small enough that
+        the one-off detour is bounded)."""
+        return self.local_samples == 0 and items <= self.probe_cap
+
+    # ------------------------------------------------------------------
+    def _blend(self, current: float | None, sample: float) -> float:
+        if current is None:
+            return sample
+        return (1.0 - self.ema) * current + self.ema * sample
+
+    def observe_local(self, items: int, seconds: float) -> None:
+        """Record an in-process miss computation of ``items`` cold items."""
+        if items < 1 or seconds < 0:
+            return
+        self.local_item_s = self._blend(self.local_item_s, seconds / items)
+        self.local_samples += 1
+
+    def observe_pool(self, items: int, seconds: float) -> None:
+        """Record a pool dispatch of ``items`` cold items.
+
+        The fixed overhead is estimated as the dispatch wall time minus
+        the compute the busiest worker shard explains (``ceil(n/w)``
+        items at the measured local per-item cost); without a local
+        estimate yet the sample is ignored.
+        """
+        if items < 1 or seconds < 0 or self.local_item_s is None:
+            return
+        busiest = -(-items // self.workers)  # ceil division
+        overhead = max(0.0, seconds - busiest * self.local_item_s)
+        self.pool_overhead_s = self._blend(self.pool_overhead_s, overhead)
+        self.pool_samples += 1
+
+    @property
+    def threshold(self) -> int:
+        """Smallest cold-batch size worth a pool round-trip right now."""
+        if self.local_item_s is None or self.pool_overhead_s is None:
+            return self.initial
+        if self.local_item_s <= 0.0:
+            return self.ceiling
+        n_star = self.pool_overhead_s * self.workers / (
+            self.local_item_s * (self.workers - 1)
+        )
+        return int(min(self.ceiling, max(self.floor, -(-n_star // 1))))
 
 
 class ParallelEvaluator(BatchEvaluator):
@@ -57,7 +159,12 @@ class ParallelEvaluator(BatchEvaluator):
     ``min_dispatch``
         Smallest number of unique cold genotypes worth a round-trip to
         the pool; below it the in-process path runs (values are identical
-        either way, this is purely a latency knob).
+        either way, this is purely a latency knob).  The default
+        ``"auto"`` adapts the threshold per session from measured costs
+        (:class:`DispatchTuner`): in-process miss computations calibrate
+        the per-item cost, pool dispatches calibrate the round-trip
+        overhead, and the break-even batch size follows both.  An integer
+        pins the old fixed behaviour.
     ``start_method`` / ``max_restarts``
         Forwarded to :class:`~repro.parallel.pool.EvaluatorPool`.
     """
@@ -67,7 +174,7 @@ class ParallelEvaluator(BatchEvaluator):
         fast: FastEvaluator,
         workers: int = 2,
         cache_size: int = 16384,
-        min_dispatch: int = 2,
+        min_dispatch: int | str = "auto",
         start_method: str = "spawn",
         max_restarts: int = 3,
     ) -> None:
@@ -75,7 +182,14 @@ class ParallelEvaluator(BatchEvaluator):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
-        self.min_dispatch = max(1, min_dispatch)
+        if min_dispatch == "auto":
+            self.min_dispatch = "auto"
+            self._tuner = DispatchTuner(max(2, workers))
+        elif isinstance(min_dispatch, int):
+            self.min_dispatch = max(1, min_dispatch)
+            self._tuner = None
+        else:
+            raise ValueError("min_dispatch must be an int or 'auto'")
         self._start_method = start_method
         self._max_restarts = max_restarts
         self._pool: EvaluatorPool | None = None
@@ -100,6 +214,18 @@ class ParallelEvaluator(BatchEvaluator):
     def pool_restarts(self) -> int:
         """Worker-crash recoveries performed so far."""
         return self._pool.restarts if self._pool is not None else 0
+
+    @property
+    def tuner(self) -> DispatchTuner | None:
+        """The adaptive dispatch tuner (``None`` with a fixed min_dispatch)."""
+        return self._tuner
+
+    @property
+    def dispatch_threshold(self) -> int:
+        """The cold-batch size at which the next call would use the pool."""
+        if self._tuner is not None:
+            return self._tuner.threshold
+        return self.min_dispatch  # type: ignore[return-value]
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent).
@@ -152,11 +278,32 @@ class ParallelEvaluator(BatchEvaluator):
                 )
         if need:
             items = list(need.values())
-            if len(items) < self.min_dispatch:
+            probe = self._tuner is not None and self._tuner.wants_probe(
+                len(items)
+            )
+            if probe or len(items) < self.dispatch_threshold:
+                t0 = time.perf_counter()
                 shard_results = [compute_work_items(self.fast, items)]
+                if self._tuner is not None:
+                    self._tuner.observe_local(
+                        len(items), time.perf_counter() - t0
+                    )
             else:
                 shards = shard_sequence(items, self.workers)
-                shard_results = self._ensure_pool().run_shards(shards)
+                pool = self._ensure_pool()
+                # A cold dispatch pays one-off worker spawn + replication;
+                # feeding that into the tuner would wildly overstate the
+                # steady-state round-trip overhead.  Same for a dispatch
+                # that hit a worker crash (respawn + resubmission time).
+                warm = pool.live
+                restarts_before = pool.restarts
+                t0 = time.perf_counter()
+                shard_results = pool.run_shards(shards)
+                clean = warm and pool.restarts == restarts_before
+                if self._tuner is not None and clean:
+                    self._tuner.observe_pool(
+                        len(items), time.perf_counter() - t0
+                    )
             merged_acc = [a for r in shard_results for a in r.accuracies]
             merged_feat = [f for r in shard_results for f in r.features]
             for geno_key, item, accuracy, row in zip(

@@ -1,9 +1,18 @@
-"""Persistent spawn-safe worker pool holding replicated fast evaluators.
+"""Persistent spawn-safe worker pools built around one replicated payload.
 
-Each worker process receives ONE pickled :class:`~repro.search.evaluator.
-FastEvaluator` replica at startup (HyperNet weights, GP predictors and the
-validation subset together) and keeps it alive for the life of the pool —
-per-call traffic is only the cache-missing genotypes, never the weights.
+:class:`WorkerPool` is the generic engine: each worker process receives
+ONE pickled state object at startup, keeps it alive for the life of the
+pool, and runs whatever module-level task function the parent dispatches
+against that state.  Two task types build on it:
+
+* :class:`EvaluatorPool` (here) replicates a stripped
+  :class:`~repro.search.evaluator.FastEvaluator` (HyperNet weights, GP
+  predictors and the validation subset together) for sharded Step-2
+  candidate scoring — per-call traffic is only the cache-missing
+  genotypes, never the weights.
+* :class:`~repro.parallel.training.TrainingPool` replicates an
+  :class:`~repro.search.evaluator.AccurateEvaluator` (synthetic dataset +
+  training recipe) for sharded Step-3 stand-alone training.
 
 Before shipping, :func:`replication_payload` strips the replica's
 transient runtime state: layer backward caches (``_cache`` / ``_mask``
@@ -46,9 +55,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "WorkItem",
     "ShardResult",
+    "WorkerPool",
     "EvaluatorPool",
     "compute_work_items",
     "replication_payload",
+    "worker_state",
 ]
 
 #: Transient per-forward attributes cleared from the shipped replica.
@@ -165,18 +176,26 @@ def replication_payload(fast: "FastEvaluator") -> bytes:
 # Worker side
 # ---------------------------------------------------------------------------
 
-_WORKER_FAST: "FastEvaluator | None" = None
+#: The one deserialised payload object each worker process holds (a
+#: FastEvaluator replica for evaluation pools, an AccurateEvaluator for
+#: training pools).
+_WORKER_STATE: object | None = None
 
 
 def _init_worker(payload: bytes) -> None:
     """Process initializer: deserialise the replica once per worker."""
-    global _WORKER_FAST
-    _WORKER_FAST = pickle.loads(payload)
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+
+
+def worker_state() -> object:
+    """The worker process's replica (task functions dispatch against it)."""
+    assert _WORKER_STATE is not None, "worker used before initialisation"
+    return _WORKER_STATE
 
 
 def _run_shard(items: list[WorkItem]) -> ShardResult:
-    assert _WORKER_FAST is not None, "worker used before initialisation"
-    return compute_work_items(_WORKER_FAST, items)
+    return compute_work_items(worker_state(), items)
 
 
 # ---------------------------------------------------------------------------
@@ -184,17 +203,19 @@ def _run_shard(items: list[WorkItem]) -> ShardResult:
 # ---------------------------------------------------------------------------
 
 
-class EvaluatorPool:
-    """A persistent pool of processes, each holding one evaluator replica.
+class WorkerPool:
+    """A persistent pool of processes, each holding one payload replica.
 
-    Workers spawn lazily on the first :meth:`run_shards` call and persist
-    across calls; the replication payload is built once in ``__init__``
-    and retained for restarts.
+    Workers spawn lazily on the first :meth:`run_tasks` call and persist
+    across calls; the payload is built once by the subclass and retained
+    for restarts.  ``run_tasks`` dispatches any module-level task function
+    against the worker-side replica (see :func:`worker_state`), so several
+    task types can share one crash-recovery engine.
     """
 
     def __init__(
         self,
-        fast: "FastEvaluator",
+        payload: bytes,
         workers: int,
         start_method: str = "spawn",
         max_restarts: int = 3,
@@ -205,7 +226,7 @@ class EvaluatorPool:
             raise ValueError("max_restarts must be >= 0")
         self.workers = workers
         self.max_restarts = max_restarts
-        self._payload = replication_payload(fast)
+        self._payload = payload
         self._mp_context = get_context(start_method)
         self._executor: ProcessPoolExecutor | None = None
         #: Lifetime counters (restarts survive pool rebuilds).
@@ -217,6 +238,12 @@ class EvaluatorPool:
     def payload_bytes(self) -> int:
         """Size of the per-worker replication payload."""
         return len(self._payload)
+
+    @property
+    def live(self) -> bool:
+        """Whether an executor is currently spawned (False before the
+        first dispatch and after :meth:`close`)."""
+        return self._executor is not None
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -236,35 +263,55 @@ class EvaluatorPool:
         processes = getattr(self._executor, "_processes", None) or {}
         return [p.pid for p in processes.values() if p.pid is not None]
 
-    def run_shards(self, shards: Sequence[list[WorkItem]]) -> list[ShardResult]:
-        """Evaluate shards across the pool, restarting on worker death.
+    def run_tasks(self, fn, shards: Sequence[list]) -> list:
+        """Run ``fn(shard)`` for every shard across the pool, restarting on
+        worker death.
 
         Results come back in shard order (order-preserving merge is then
         plain concatenation).  If a worker crashes, the broken executor is
         torn down, a fresh pool is spawned from the retained payload and
-        the full shard list is resubmitted — the batch is never lost.
+        the batch is never lost — shards whose result already came back
+        keep it, and ONLY the unfinished shards are resubmitted (a crash
+        during Step-3 training must not retrain every candidate).
         """
         shard_lists = [list(shard) for shard in shards]
+        pending_marker = object()
+        results: list = [pending_marker] * len(shard_lists)
         attempts = 0
         while True:
+            pending = [i for i, r in enumerate(results) if r is pending_marker]
+            if not pending:
+                break
             executor = self._ensure_executor()
+            crashed = False
             try:
                 # submit() itself raises when the pool noticed a death
                 # between batches, so it sits inside the retry scope too.
                 futures = [
-                    executor.submit(_run_shard, shard) for shard in shard_lists
+                    (i, executor.submit(fn, shard_lists[i])) for i in pending
                 ]
-                results = [future.result() for future in futures]
             except BrokenProcessPool:
+                futures = []
+                crashed = True
+            # Harvest every future individually: results that completed
+            # before (or despite) a crash are kept, so the retry only
+            # resubmits shards that genuinely never finished.
+            for i, future in futures:
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool:
+                    crashed = True
+            if crashed:
                 self._teardown()
                 attempts += 1
                 self.restarts += 1
                 if attempts > self.max_restarts:
-                    raise
-                continue
-            self.batches += 1
-            self.items += sum(len(shard) for shard in shard_lists)
-            return results
+                    raise BrokenProcessPool(
+                        f"worker pool crashed {attempts} times; giving up"
+                    )
+        self.batches += 1
+        self.items += sum(len(shard) for shard in shard_lists)
+        return results
 
     # ------------------------------------------------------------------
     def _teardown(self) -> None:
@@ -274,11 +321,37 @@ class EvaluatorPool:
 
     def close(self) -> None:
         """Shut the workers down (idempotent; the payload is retained,
-        so a later :meth:`run_shards` transparently respawns the pool)."""
+        so a later dispatch transparently respawns the pool)."""
         self._teardown()
 
-    def __enter__(self) -> "EvaluatorPool":
+    def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class EvaluatorPool(WorkerPool):
+    """A persistent pool of processes, each holding one evaluator replica.
+
+    The replication payload (stripped fast evaluator) is built once in
+    ``__init__`` and retained for restarts.
+    """
+
+    def __init__(
+        self,
+        fast: "FastEvaluator",
+        workers: int,
+        start_method: str = "spawn",
+        max_restarts: int = 3,
+    ) -> None:
+        super().__init__(
+            replication_payload(fast),
+            workers,
+            start_method=start_method,
+            max_restarts=max_restarts,
+        )
+
+    def run_shards(self, shards: Sequence[list[WorkItem]]) -> list[ShardResult]:
+        """Evaluate work-item shards across the pool (crash-safe)."""
+        return self.run_tasks(_run_shard, shards)

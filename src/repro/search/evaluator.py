@@ -383,7 +383,13 @@ class BatchEvaluator:
 
 
 class AccurateEvaluator:
-    """Full training + accurate simulation (Step 3 rescoring)."""
+    """Full training + accurate simulation (Step 3 rescoring).
+
+    ``train_fast=True`` runs every stand-alone training under the
+    compact-cache training kernels (:func:`repro.nn.layers.train_fast`) —
+    same recipe, bounded backward state, gradients matching the standard
+    kernels at relative 1e-6.  Off by default for paper fidelity.
+    """
 
     def __init__(
         self,
@@ -395,6 +401,7 @@ class AccurateEvaluator:
         train_epochs: int = 70,
         batch_size: int = 64,
         seed: int = 0,
+        train_fast: bool = False,
     ) -> None:
         self.dataset = dataset
         self.simulator = simulator or SystolicArraySimulator()
@@ -404,32 +411,64 @@ class AccurateEvaluator:
         self.train_epochs = train_epochs
         self.batch_size = batch_size
         self.seed = seed
+        self.train_fast = train_fast
 
-    def train_accuracy(self, point: CoDesignPoint) -> float:
+    def train_accuracy(self, point: CoDesignPoint, seed: int | None = None) -> float:
         """Stand-alone training accuracy of one candidate (no simulation).
 
         Split out of :meth:`evaluate` so Step-3 rescoring can train each
         top-N candidate individually (accuracy genuinely needs per-model
         training) while batching ALL their latency/energy simulations
         into one :meth:`~repro.accel.simulator.SystolicArraySimulator.
-        simulate_genotypes` call.
+        simulate_genotypes` call.  ``seed`` overrides the evaluator seed
+        for one candidate; each call is deterministic and independent of
+        every other call, which is what lets
+        :meth:`train_accuracies` shard candidates across worker processes
+        with bit-identical results.
         """
-        rng = np.random.default_rng(self.seed)
+        seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(seed)
         network = CellNetwork(
             point.genotype,
             num_cells=self.num_cells,
             stem_channels=self.stem_channels,
             num_classes=self.num_classes,
             rng=rng,
+            train_fast=self.train_fast,
         )
         result = train_network(
             network,
             self.dataset,
             epochs=self.train_epochs,
             batch_size=self.batch_size,
-            seed=self.seed,
+            seed=seed,
         )
         return result.val_accuracy
+
+    def train_accuracies(
+        self,
+        points: Sequence[CoDesignPoint],
+        workers: int = 1,
+        seeds: Sequence[int] | None = None,
+        **pool_kwargs,
+    ) -> list[float]:
+        """Stand-alone training accuracy of many candidates, optionally
+        sharded across a worker pool.
+
+        ``workers <= 1`` trains serially in-process; anything larger ships
+        this evaluator once per worker (:class:`repro.parallel.training.
+        TrainingPool`) and runs the independent per-candidate trainings
+        concurrently.  Every candidate keeps its own deterministic seed
+        (``seeds[i]`` or the evaluator seed), so sharded results equal the
+        serial results exactly at any worker count.
+        """
+        # Imported lazily: repro.parallel imports this module, so a
+        # module-level import here would be circular via the package init.
+        from ..parallel.training import train_accuracies
+
+        return train_accuracies(
+            self, points, workers=workers, seeds=seeds, **pool_kwargs
+        )
 
     def evaluate(self, point: CoDesignPoint) -> Evaluation:
         """Train the candidate from scratch and simulate it accurately."""

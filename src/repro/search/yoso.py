@@ -50,11 +50,17 @@ class YosoConfig:
     #: update (1 = the paper's per-episode update; candidate *scoring* goes
     #: through the batched evaluator either way).
     search_batch: int = 1
-    #: Worker processes for candidate scoring.  1 (the default) keeps the
-    #: in-process :class:`~repro.search.evaluator.BatchEvaluator`; > 1
-    #: routes Step 2 through :class:`~repro.parallel.ParallelEvaluator`
-    #: (sharded HyperNet accuracy + feature misses, bit-identical results).
+    #: Worker processes for candidate scoring AND Step-3 top-N training.
+    #: 1 (the default) keeps everything in-process; > 1 routes Step 2
+    #: through :class:`~repro.parallel.ParallelEvaluator` (sharded
+    #: HyperNet accuracy + feature misses) and Step 3's stand-alone
+    #: trainings through :class:`~repro.parallel.TrainingPool` — both
+    #: bit-identical to the serial paths.
     workers: int = 1
+    #: Run Step-3 stand-alone training under the compact-cache training
+    #: kernels (:func:`repro.nn.layers.train_fast`).  Off by default for
+    #: paper fidelity; gradients match the standard kernels at rel 1e-6.
+    train_fast: bool = False
     seed: int = 0
 
 
@@ -169,9 +175,13 @@ class YosoSearch:
     def finalize(self) -> list[RescoredCandidate]:
         """Accurately rescore the top-N candidates and rank them.
 
-        Accuracy needs stand-alone training per candidate, but the
-        latency/energy ground truth for ALL top-N candidates comes from
-        ONE batched :meth:`~repro.accel.simulator.SystolicArraySimulator.
+        Accuracy needs stand-alone training per candidate; at
+        ``workers > 1`` those independent trainings shard across a
+        :class:`~repro.parallel.TrainingPool` (dataset + recipe replicated
+        once per worker, per-candidate deterministic seeds, results
+        bit-identical to the serial loop).  The latency/energy ground
+        truth for ALL top-N candidates comes from ONE batched
+        :meth:`~repro.accel.simulator.SystolicArraySimulator.
         simulate_genotypes` call instead of N scalar per-layer walks (the
         batch engine matches the scalar simulator to relative 1e-9).
         """
@@ -186,6 +196,7 @@ class YosoSearch:
             num_classes=cfg.num_classes,
             train_epochs=cfg.rescore_epochs,
             seed=cfg.seed,
+            train_fast=cfg.train_fast,
         )
         top = self.search.history.top(cfg.topn)
         points = [sample.point() for sample in top]
@@ -196,12 +207,13 @@ class YosoSearch:
             image_size=self.dataset.image_size,
             num_classes=cfg.num_classes,
         )
+        accuracies = accurate.train_accuracies(points, workers=cfg.workers)
         rescored: list[RescoredCandidate] = []
-        for sample, point, latency, energy in zip(
-            top, points, batch.latency_ms, batch.energy_mj
+        for sample, point, accuracy, latency, energy in zip(
+            top, points, accuracies, batch.latency_ms, batch.energy_mj
         ):
             evaluation = Evaluation(
-                accuracy=accurate.train_accuracy(point),
+                accuracy=accuracy,
                 latency_ms=float(latency),
                 energy_mj=float(energy),
             )

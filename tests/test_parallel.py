@@ -183,7 +183,11 @@ class TestParallelEvaluator:
             assert evaluator.evaluate_many(points) == reference
 
     def test_worker_crash_restarts_pool_without_losing_batch(self, smoke_context):
-        evaluator = ParallelEvaluator(smoke_context.fast_evaluator, workers=2)
+        # Fixed min_dispatch: the warm-up batch must spawn the pool, not
+        # be absorbed by the adaptive tuner's in-process calibration probe.
+        evaluator = ParallelEvaluator(
+            smoke_context.fast_evaluator, workers=2, min_dispatch=2
+        )
         try:
             warmup = _population(4, seed=41)
             reference_warm = BatchEvaluator(
