@@ -8,6 +8,7 @@ Usage (installed as ``python -m repro.cli`` or the ``yoso`` console script):
     yoso fig6     [--scale demo] [--iterations N] # search strategy figures
     yoso table2   [--scale demo] [--iterations N] # two-stage comparison
     yoso space                                     # search-space statistics
+    yoso serve    [--scale demo] [--port 7777]    # search-evaluation service
 """
 
 from __future__ import annotations
@@ -119,6 +120,25 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.common import get_context
+    from repro.service import SearchService
+
+    context = get_context(args.scale, args.seed, workers=args.workers)
+    service = SearchService(
+        context.batch_evaluator,
+        host=args.host,
+        port=args.port,
+        tick_s=args.tick_s,
+        max_batch_points=args.max_batch_points,
+        max_inflight_points=args.max_inflight,
+    )
+    # The context owns the evaluator (and its worker pool); the atexit
+    # cleanup in repro.experiments.common closes it after the drain.
+    service.run()
+    return 0
+
+
 def cmd_space(args: argparse.Namespace) -> int:
     from repro.accel.config import hw_space_size
     from repro.nas.encoding import token_vocab_sizes
@@ -166,6 +186,24 @@ def build_parser() -> argparse.ArgumentParser:
              "(sharded across --workers) instead of the HyperNet "
              "re-measurement")
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived search-evaluation service (repro.service)")
+    _add_common(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7777,
+                   help="TCP port (0 = OS-assigned, printed on startup)")
+    p.add_argument("--tick-s", type=float, default=0.002,
+                   help="coalescing window: how long the scheduler waits "
+                        "after traffic arrives before batching (latency "
+                        "floor vs batch size — see docs/PERFORMANCE.md)")
+    p.add_argument("--max-batch-points", type=int, default=4096,
+                   help="largest coalesced batch the scheduler runs at once")
+    p.add_argument("--max-inflight", type=int, default=4096,
+                   help="backpressure budget: points admitted concurrently "
+                        "before further requests queue")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("space", help="search-space statistics")
     p.set_defaults(func=cmd_space)

@@ -30,6 +30,7 @@ def generate_report(
     iterations: int | None = None,
     correlation_models: int | None = None,
     workers: int = 1,
+    endpoint: str | None = None,
 ) -> str:
     """Run every experiment and return the combined markdown report.
 
@@ -43,8 +44,48 @@ def generate_report(
     efficiency section).  ``workers`` only applies when ``context`` is
     None — an explicit context brings its own evaluator, and the report
     describes THAT context's engine.
+
+    ``endpoint`` (``"host:port"``) switches candidate scoring to a live
+    :mod:`repro.service` search service: the local Step-1 artefacts
+    (HyperNet, thresholds) are still built, but every ``evaluate_many``
+    goes over the wire through a
+    :class:`~repro.service.client.RemoteEvaluator` — results are
+    bit-identical to local scoring, and the efficiency section reports
+    the *service's* scheduler/coalescing stats instead of a local pool.
     """
+    if endpoint is not None:
+        from dataclasses import replace
+
+        from ..service import RemoteEvaluator
+
+        # ``workers`` still matters with an endpoint: candidate scoring
+        # goes remote, but the harnesses' local stand-alone training
+        # pools (table2's rescore path) shard by context.workers.
+        base = context or get_context(scale_name, seed, workers=workers)
+        # Close the connection on every exit path — a failing experiment
+        # must not leak the client socket (and the server's reader task).
+        with RemoteEvaluator(endpoint) as remote:
+            return _generate(
+                replace(base, batch_evaluator=remote),
+                seed, scale_name, iterations, correlation_models,
+                remote=remote, endpoint=endpoint,
+            )
     context = context or get_context(scale_name, seed, workers=workers)
+    return _generate(
+        context, seed, scale_name, iterations, correlation_models,
+        remote=None, endpoint=None,
+    )
+
+
+def _generate(
+    context: ExperimentContext,
+    seed: int,
+    scale_name: str,
+    iterations: int | None,
+    correlation_models: int | None,
+    remote,
+    endpoint: str | None,
+) -> str:
     scale = context.scale
     evaluator = context.batch_evaluator
     n_iter = iterations if iterations is not None else scale.search_iterations
@@ -55,14 +96,22 @@ def generate_report(
     )
     stage_rows: list[list[str]] = []
 
+    def counters() -> tuple[int, int]:
+        """(hits, misses) — one consistent snapshot per observation (a
+        remote evaluator answers from a single stats round-trip)."""
+        if remote is not None:
+            return remote.counters()
+        return evaluator.hits, evaluator.misses
+
     def staged(name: str, fn: Callable):
         """Run one report stage, recording duration and cache deltas."""
-        hits0, misses0 = evaluator.hits, evaluator.misses
+        hits0, misses0 = counters()
         t0 = time.perf_counter()
         result = fn()
         seconds = time.perf_counter() - t0
-        hits = evaluator.hits - hits0
-        lookups = hits + evaluator.misses - misses0
+        hits1, misses1 = counters()
+        hits = hits1 - hits0
+        lookups = hits + misses1 - misses0
         rate = f"{100.0 * hits / lookups:.1f}%" if lookups else "-"
         stage_rows.append(
             [name, f"{seconds:.2f}", str(lookups), str(hits), rate]
@@ -143,11 +192,13 @@ def generate_report(
               format_table(["strategy", "best", "tail-mean"], rows), "```"]
 
     # Evaluator efficiency (ROADMAP item: surface hit_rate + durations).
-    total = evaluator.hits + evaluator.misses
+    final_hits, final_misses = counters()
+    total = final_hits + final_misses
+    rate = final_hits / total if total else 0.0
     parts += ["", "## Evaluator efficiency", "",
               f"BatchEvaluator cumulative hit rate: "
-              f"{100.0 * evaluator.hit_rate:.1f}% "
-              f"({evaluator.hits} hits / {total} lookups; "
+              f"{100.0 * rate:.1f}% "
+              f"({final_hits} hits / {total} lookups; "
               f"cache size {evaluator.cache_size})",
               "", "```",
               format_table(
@@ -155,7 +206,23 @@ def generate_report(
                   stage_rows,
               ),
               "```"]
-    if context.workers > 1:
+    if remote is not None:
+        stats = remote.service_stats()
+        sched = stats["scheduler"]
+        service = stats["service"]
+        ratio = sched["coalescing_ratio"]
+        parts += ["",
+                  f"Search service: endpoint {endpoint}, "
+                  f"{service['requests']} requests over "
+                  f"{service['connections']} connections; scheduler ran "
+                  f"{sched['ticks']} ticks for {sched['requests']} submitted "
+                  f"requests ({sched['points_in']} points, "
+                  f"largest batch {sched['largest_batch']}, "
+                  f"{sched['errors']} errors"
+                  + (f", {ratio:.2f} requests/tick" if ratio else "")
+                  + f"); peak in-flight {service['peak_inflight_points']} / "
+                  f"{service['max_inflight_points']} budget points."]
+    elif context.workers > 1:
         pool = getattr(evaluator, "pool", None)
         threshold = getattr(evaluator, "dispatch_threshold", None)
         if threshold is None:
@@ -192,11 +259,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for candidate scoring "
                              "(1 = in-process; results are bit-identical)")
+    parser.add_argument("--endpoint", default=None, metavar="HOST:PORT",
+                        help="score candidates against a running "
+                             "`yoso serve` search service instead of "
+                             "in-process (bit-identical results)")
     parser.add_argument("--output", default=None,
                         help="write the report here instead of stdout")
     args = parser.parse_args(argv)
     report = generate_report(args.scale, args.seed, iterations=args.iterations,
-                             workers=args.workers)
+                             workers=args.workers, endpoint=args.endpoint)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)

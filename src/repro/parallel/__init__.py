@@ -33,7 +33,9 @@ Every search strategy reaches this engine through the ``workers`` knob on
 :class:`~repro.search.yoso.YosoConfig`, ``get_context(...)`` or the
 ``--workers`` CLI flags (which also shard Step-3 top-N training); see
 docs/PERFORMANCE.md for the execution model and when workers lose to
-in-process.
+in-process.  :mod:`repro.service` exposes the whole stack as a long-lived
+TCP endpoint (``yoso serve``), with the scheduler coalescing concurrent
+network clients exactly as it coalesces in-process threads.
 """
 
 from .evaluator import DispatchTuner, ParallelEvaluator, create_evaluator

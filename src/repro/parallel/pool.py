@@ -295,12 +295,32 @@ class WorkerPool:
                 crashed = True
             # Harvest every future individually: results that completed
             # before (or despite) a crash are kept, so the retry only
-            # resubmits shards that genuinely never finished.
+            # resubmits shards that genuinely never finished.  A genuine
+            # task error (the fn raised in a healthy worker) must not
+            # short-circuit the harvest either — propagating it with
+            # later shards' futures still running would leave the
+            # executor busy with abandoned work and the pool in an
+            # undefined state for the next batch.
+            task_error: Exception | None = None
             for i, future in futures:
                 try:
                     results[i] = future.result()
                 except BrokenProcessPool:
                     crashed = True
+                except Exception as exc:
+                    # Genuine task errors only — a KeyboardInterrupt /
+                    # SystemExit delivered mid-harvest must abort NOW,
+                    # not after blocking on every remaining shard.
+                    if task_error is None:
+                        task_error = exc
+            if task_error is not None:
+                # Every future has been waited on, so no shard is still
+                # in flight and the pool is immediately reusable.  (If a
+                # crash happened too, the broken executor is torn down so
+                # the next dispatch respawns cleanly.)
+                if crashed:
+                    self._teardown()
+                raise task_error
             if crashed:
                 self._teardown()
                 attempts += 1

@@ -8,10 +8,13 @@ concurrent traffic N small requests collapse into one sharded batch —
 one grouped HyperNet forward, one GP prediction, one pool dispatch —
 instead of N serialized round-trips.
 
-Correctness is free: ``evaluate_many`` is order-preserving and its
-values do not depend on batch composition (the batch-parity guarantees
-of :class:`~repro.search.evaluator.BatchEvaluator`), so coalescing
-changes wall-clock only, never results.
+Correctness: ``evaluate_many`` is order-preserving and dedups unique
+candidates before the batched GP prediction, so coalescing N *identical*
+requests (or serving repeats from cache) is bit-exact against the
+standalone call.  Candidates cold-scored inside *different* unique-batch
+compositions can drift in the last float ulp (BLAS blocking varies with
+the GP matrix height — the documented rel-1e-9 batched-vs-scalar bound);
+the parity tests therefore pin call compositions exactly.
 
 Operation:
 
@@ -81,12 +84,19 @@ class MicroBatchScheduler:
         # several submitter threads may flush() at once.
         self._dispatch = threading.Lock()
         self._closed = False
+        # Shutdown coordination: exactly one caller performs the close
+        # (join + drain); everyone else waits on _close_done, so close()
+        # returning always means the queue has been fully drained.
+        self._close_started = False
+        self._closer_ident: int | None = None
+        self._close_done = threading.Event()
         self._thread: threading.Thread | None = None
         # -- stats (guarded by _cond) --
         self.ticks = 0
         self.requests = 0
         self.points_in = 0
         self.largest_batch = 0
+        self.errors = 0
         if auto_start:
             self.start()
 
@@ -109,7 +119,9 @@ class MicroBatchScheduler:
     ) -> list["Evaluation"]:
         """Blocking drop-in for ``BatchEvaluator.evaluate_many``."""
         future = self.submit(points)
-        if self._thread is None:
+        with self._cond:
+            synchronous = self._thread is None
+        if synchronous:
             # Synchronous mode: the caller drives the batch itself.
             self.flush()
         return future.result()
@@ -120,7 +132,12 @@ class MicroBatchScheduler:
 
     # -- batching core ---------------------------------------------------
     def _take_batch(self) -> list[_Request]:
-        """Pop pending requests up to ``max_batch_points`` (>= 1 request)."""
+        """Pop pending requests up to ``max_batch_points`` (>= 1 request).
+
+        Each popped request's future is flipped to RUNNING; a request whose
+        caller cancelled the future while it was queued is dropped here, so
+        ``_run_batch`` never races a cancellation with ``set_result``.
+        """
         with self._cond:
             batch: list[_Request] = []
             points = 0
@@ -128,7 +145,10 @@ class MicroBatchScheduler:
                 request = self._pending[0]
                 if batch and points + len(request.points) > self.max_batch_points:
                     break
-                batch.append(self._pending.popleft())
+                self._pending.popleft()
+                if not request.future.set_running_or_notify_cancel():
+                    continue  # cancelled while queued; nothing to evaluate
+                batch.append(request)
                 points += len(request.points)
             return batch
 
@@ -137,6 +157,12 @@ class MicroBatchScheduler:
         try:
             results = self.evaluator.evaluate_many(points)
         except BaseException as exc:  # propagate to every coalesced caller
+            # A failed batch is still a tick the evaluator ran — the stats
+            # must not under-report traffic (or hide errors) under faults.
+            with self._cond:
+                self.ticks += 1
+                self.errors += 1
+                self.largest_batch = max(self.largest_batch, len(points))
             for request in batch:
                 request.future.set_exception(exc)
             return
@@ -162,6 +188,11 @@ class MicroBatchScheduler:
                     "flush() is for synchronous mode; the running scheduler "
                     "thread owns batching"
                 )
+        return self._drain()
+
+    def _drain(self) -> int:
+        """The flush body, without the synchronous-mode guard (close() uses
+        it after the scheduler thread has been joined)."""
         served = 0
         while True:
             with self._dispatch:
@@ -201,21 +232,53 @@ class MicroBatchScheduler:
                     self._run_batch(batch)
 
     def close(self) -> None:
-        """Stop accepting requests, serve what is queued, join the thread."""
+        """Stop accepting requests, serve what is queued, join the thread.
+
+        Idempotent and safe under concurrent callers: exactly ONE caller
+        performs the shutdown (join + drain) and every other caller blocks
+        until it finishes, so ``close()`` returning always means the queue
+        has been fully drained — a second closer must never return early
+        (dropping the drain guarantee) or touch :meth:`flush` while the
+        scheduler thread is still being joined.  A reentrant call from the
+        closing thread itself (a signal handler firing mid-close, or an
+        evaluator closing the scheduler from inside a drained batch)
+        returns immediately instead of deadlocking on its own shutdown.
+        """
         with self._cond:
-            if self._closed and self._thread is None:
-                return
             self._closed = True
             self._cond.notify_all()
+            if threading.current_thread() is self._thread:
+                # Called from the scheduler thread itself (an evaluator
+                # closing mid-batch): just flag the shutdown — this loop
+                # exits after the current batch, and a real closer
+                # performs the join + drain.  Joining or waiting here
+                # would deadlock on ourselves.
+                return
+            if self._close_started:
+                reentrant = self._closer_ident == threading.get_ident()
+                owner = False
+            else:
+                self._close_started = True
+                self._closer_ident = threading.get_ident()
+                owner = True
             thread = self._thread
-        if thread is not None:
-            # _thread stays set until the join completes, so the flush()
-            # guard keeps rejecting concurrent callers for the whole
-            # shutdown window (the scheduler thread may still be mid-batch).
-            thread.join()
-            with self._cond:
-                self._thread = None
-        self.flush()  # synchronous-mode stragglers (no thread to serve them)
+        if not owner:
+            if not reentrant:
+                self._close_done.wait()
+            return
+        try:
+            if thread is not None:
+                # _thread stays set until the join completes, so the flush()
+                # guard keeps rejecting callers for the whole shutdown
+                # window (the scheduler thread may still be mid-batch).
+                thread.join()
+                with self._cond:
+                    self._thread = None
+            # Synchronous-mode stragglers (no thread to serve them); the
+            # scheduler thread, when present, drained before exiting.
+            self._drain()
+        finally:
+            self._close_done.set()
 
     def __enter__(self) -> "MicroBatchScheduler":
         return self

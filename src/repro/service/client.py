@@ -1,0 +1,209 @@
+"""Blocking client library for the search-evaluation service.
+
+:class:`ServiceClient` is one TCP connection speaking the NDJSON wire
+protocol — the thin, explicit layer (connect, evaluate, stats, shutdown).
+:class:`RemoteEvaluator` wraps a client in the evaluator shape the search
+stack and the report harness expect (``evaluate`` / ``evaluate_many`` /
+``evaluate_tokens`` plus the cache-accounting properties), so a local
+search loop can be pointed at a remote service with one constructor swap
+— and, because the wire codec and the service's coalescing are both
+value-preserving, get bit-identical results.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Sequence
+
+from ..nas.encoding import CoDesignPoint, decode
+from ..search.evaluator import Evaluation
+from . import protocol
+
+__all__ = ["ServiceError", "ServiceClient", "RemoteEvaluator", "parse_endpoint"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error response."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, int]:
+    """Parse ``"host:port"`` (or ``":port"`` for localhost)."""
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"endpoint must be 'host:port', got {endpoint!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+class ServiceClient:
+    """One blocking NDJSON connection to a :class:`~repro.service.server.
+    SearchService`.
+
+    Requests on a connection are answered in order; a lock serialises
+    concurrent callers on the same client, so sharing one client between
+    threads is safe (though one connection *per* concurrent caller lets
+    the server's micro-batching coalesce them into a single tick).
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    @classmethod
+    def connect(cls, endpoint: str, timeout: float | None = 120.0) -> "ServiceClient":
+        """Build a client from a ``host:port`` endpoint string."""
+        return cls(*parse_endpoint(endpoint), timeout=timeout)
+
+    # -- request plumbing ------------------------------------------------
+    def _call(self, op: str, **payload) -> dict:
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            message = {
+                "v": protocol.WIRE_VERSION,
+                "id": request_id,
+                "op": op,
+                **payload,
+            }
+            self._file.write(protocol.encode_message(message))
+            self._file.flush()
+            line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError("service closed the connection")
+        response = protocol.decode_message(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("type", "unknown"), error.get("message", "")
+            )
+        if response.get("id") != request_id:
+            raise protocol.ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        return response
+
+    # -- verbs -----------------------------------------------------------
+    def evaluate_many(
+        self, points: Sequence[CoDesignPoint]
+    ) -> list[Evaluation]:
+        """Score a batch remotely; one Evaluation per point, input order."""
+        response = self._call(
+            "evaluate_many",
+            points=[protocol.point_to_wire(p) for p in points],
+        )
+        return [
+            protocol.evaluation_from_wire(obj)
+            for obj in response["evaluations"]
+        ]
+
+    def evaluate(self, point: CoDesignPoint) -> Evaluation:
+        response = self._call("evaluate", point=protocol.point_to_wire(point))
+        return protocol.evaluation_from_wire(response["evaluation"])
+
+    def stats(self) -> dict:
+        """The server's service/scheduler/evaluator counters."""
+        return self._call("stats")["stats"]
+
+    def shutdown(self) -> dict:
+        """Ask the service to drain and stop (returns the ack)."""
+        return self._call("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemoteEvaluator:
+    """Evaluator-shaped adapter over a :class:`ServiceClient`.
+
+    Drop-in for a :class:`~repro.search.evaluator.BatchEvaluator` where a
+    search loop or the report harness only needs ``evaluate`` /
+    ``evaluate_many`` / ``evaluate_tokens`` and the cache-accounting
+    reads (``hits`` / ``misses`` / ``hit_rate`` / ``cache_size``): calls
+    go over the wire, accounting reads come from the service's ``stats``
+    verb (they describe the *server-side* evaluator, which is where the
+    caches live).
+    """
+
+    def __init__(self, endpoint: str, timeout: float | None = 600.0) -> None:
+        self.endpoint = endpoint
+        self.client = ServiceClient.connect(endpoint, timeout=timeout)
+
+    # -- scoring ---------------------------------------------------------
+    def evaluate(self, point: CoDesignPoint) -> Evaluation:
+        return self.client.evaluate(point)
+
+    def evaluate_many(
+        self, points: Sequence[CoDesignPoint]
+    ) -> list[Evaluation]:
+        return self.client.evaluate_many(points)
+
+    def evaluate_tokens(
+        self, token_lists: Sequence[Sequence[int]]
+    ) -> list[Evaluation]:
+        """Token-sequence entry point (decoded locally; names never affect
+        scores, so this matches the local ``evaluate_tokens`` exactly)."""
+        points = [
+            decode(list(tokens), name=f"remote_{i}")
+            for i, tokens in enumerate(token_lists)
+        ]
+        return self.evaluate_many(points)
+
+    # -- accounting (server-side evaluator state) ------------------------
+    def counters(self) -> tuple[int, int]:
+        """(hits, misses) from ONE stats snapshot — use this for deltas;
+        reading the properties pairwise takes two snapshots and a busy
+        shared service can move between them."""
+        stats = self.client.stats()["evaluator"]
+        return stats.get("hits", 0), stats.get("misses", 0)
+
+    def _evaluator_stat(self, name: str, default=0):
+        return self.client.stats()["evaluator"].get(name, default)
+
+    @property
+    def hits(self) -> int:
+        return self._evaluator_stat("hits")
+
+    @property
+    def misses(self) -> int:
+        return self._evaluator_stat("misses")
+
+    @property
+    def hit_rate(self) -> float:
+        return self._evaluator_stat("hit_rate", 0.0)
+
+    @property
+    def cache_size(self) -> int:
+        return self._evaluator_stat("cache_size")
+
+    def service_stats(self) -> dict:
+        """The full remote stats snapshot (service + scheduler + evaluator)."""
+        return self.client.stats()
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "RemoteEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,489 @@
+"""Asyncio search-evaluation service over the parallel engine.
+
+:class:`SearchService` turns the offline co-design scorer into a
+long-lived endpoint: it owns ONE persistent evaluator (a
+:class:`~repro.search.evaluator.BatchEvaluator` or, with ``workers > 1``,
+a :class:`~repro.parallel.evaluator.ParallelEvaluator` and its worker
+pool) behind a :class:`~repro.parallel.scheduler.MicroBatchScheduler`,
+and speaks the NDJSON wire protocol of :mod:`repro.service.protocol`
+over TCP.
+
+Execution model — three layers, each with one job:
+
+* the **asyncio loop** (one thread) accepts connections and parses
+  frames; one lightweight task per connection, requests on a connection
+  are served in order, connections are independent;
+* the **points budget** (:class:`PointsBudget`) is the backpressure
+  valve: at most ``max_inflight_points`` decoded points may sit between
+  "admitted" and "answered" at once, so a flood of clients degrades to
+  *queueing* (their requests wait in the budget's FIFO) instead of
+  ballooning the scheduler queue without bound;
+* the **scheduler thread** coalesces every admitted request pending at a
+  tick into one ``evaluate_many`` call on the evaluator — N concurrent
+  clients cost one grouped HyperNet forward / GP prediction / pool
+  dispatch per tick, not N.
+
+Results are bit-identical to calling ``evaluate_many`` in-process: the
+wire codec round-trips points and evaluations exactly, and coalescing
+never changes values (the batch-parity guarantees of the evaluator
+stack).
+
+Graceful shutdown (the ``shutdown`` verb, ``SIGINT``/``SIGTERM`` under
+:meth:`SearchService.run`, or :meth:`ServiceHandle.shutdown`): new work
+is rejected, every admitted *and* budget-queued request is served to
+completion, the scheduler drains and joins, and only then do the worker
+pool and the listening socket go away — no request is dropped or
+double-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from typing import Sequence
+
+from ..parallel.scheduler import MicroBatchScheduler
+from . import protocol
+
+__all__ = [
+    "PointsBudget",
+    "SearchService",
+    "ServiceClosedError",
+    "ServiceHandle",
+    "start_service",
+]
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is shutting down and no longer admits evaluate work."""
+
+
+class PointsBudget:
+    """Bounded count of in-flight points (the service's backpressure).
+
+    ``acquire(n)`` admits a request of ``n`` points once it fits under
+    ``limit``; waiters are admitted strictly FIFO (head-of-line blocking,
+    so a large request is never starved by a stream of small ones).  A
+    single request larger than the whole limit is admitted only when
+    nothing else is in flight (it runs alone, mirroring the scheduler's
+    ``max_batch_points`` semantics), so an oversized request degrades to
+    exclusive access instead of deadlocking.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self._used = 0
+        self._queue: list[object] = []
+        self._cond: asyncio.Condition = asyncio.Condition()
+        #: Peak of ``used`` over the service lifetime (stats/bench).
+        self.peak = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued on the budget."""
+        return len(self._queue)
+
+    def _fits(self, n: int) -> bool:
+        return self._used == 0 or self._used + n <= self.limit
+
+    async def acquire(self, n: int) -> None:
+        ticket = object()
+        async with self._cond:
+            self._queue.append(ticket)
+            try:
+                await self._cond.wait_for(
+                    lambda: self._queue[0] is ticket and self._fits(n)
+                )
+            except BaseException:
+                self._queue.remove(ticket)
+                self._cond.notify_all()
+                raise
+            self._queue.pop(0)
+            self._used += n
+            self.peak = max(self.peak, self._used)
+            self._cond.notify_all()  # let the new head re-check
+
+    async def release(self, n: int) -> None:
+        async with self._cond:
+            self._used -= n
+            self._cond.notify_all()
+
+
+class SearchService:
+    """One persistent evaluator behind a micro-batching TCP endpoint.
+
+    ``evaluator`` is anything evaluator-shaped (list-in/list-out
+    ``evaluate_many``); the service wraps it in its own
+    :class:`~repro.parallel.scheduler.MicroBatchScheduler` (``tick_s`` is
+    the coalescing window, ``max_batch_points`` bounds one coalesced
+    batch).  ``max_inflight_points`` is the backpressure budget.  With
+    ``owns_evaluator=True`` shutdown also closes the evaluator (worker
+    pools); otherwise the caller keeps that lifecycle.
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_s: float = 0.002,
+        max_batch_points: int = 4096,
+        max_inflight_points: int = 4096,
+        owns_evaluator: bool = False,
+    ) -> None:
+        self.evaluator = evaluator
+        self.host = host
+        self.port = port  # 0 = ephemeral; bound port published by start()
+        self.owns_evaluator = owns_evaluator
+        self.scheduler = MicroBatchScheduler(
+            evaluator, tick_s=tick_s, max_batch_points=max_batch_points
+        )
+        self.max_inflight_points = max_inflight_points
+        self._budget: PointsBudget | None = None  # built on the loop
+        self._server: asyncio.AbstractServer | None = None
+        self._closing = False
+        self._shutdown_task: asyncio.Task | None = None
+        self._stopped: asyncio.Event | None = None
+        self._active = 0
+        self._idle: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        #: Lifetime counters.
+        self.connections = 0
+        self.requests = 0
+        self.rejected = 0
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is not None:
+            return
+        self._budget = PointsBudget(self.max_inflight_points)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            # StreamReader's default 64 KB limit is far below a large
+            # evaluate_many frame; the protocol's own bound applies instead.
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until a shutdown completes."""
+        await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    def run(self) -> None:
+        """Blocking entry point for ``yoso serve``: serve until SIGINT/
+        SIGTERM (or a client ``shutdown`` verb), then drain and exit."""
+        asyncio.run(self._run())
+
+    async def _run(self) -> None:
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signame in ("SIGINT", "SIGTERM"):
+            import signal as _signal
+
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(
+                    getattr(_signal, signame), self.request_shutdown
+                )
+        print(f"service listening on {self.host}:{self.port}", flush=True)
+        await self.serve_forever()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful shutdown (idempotent; signal/verb safe).
+
+        Must be called on the service's event loop (signal handlers and
+        request handlers are); thread-safe callers go through
+        :class:`ServiceHandle` or the ``shutdown`` verb.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        self._shutdown_task = asyncio.get_running_loop().create_task(
+            self._shutdown()
+        )
+
+    async def _shutdown(self) -> None:
+        assert self._server is not None
+        assert self._idle is not None and self._stopped is not None
+        # 1. Stop accepting new connections; in-flight requests keep going.
+        #    (No wait_closed() here: since 3.12 it waits for open client
+        #    connections too, which are only torn down after the drain.)
+        self._server.close()
+        # 2. Drain: every admitted and budget-queued request completes
+        #    (new requests have been rejected since _closing flipped).
+        await self._idle.wait()
+        # 3. Scheduler queue is now empty; close() joins its thread.  The
+        #    scheduler's close is idempotent and thread-safe, so a signal
+        #    arriving mid-drain cannot corrupt this path.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.scheduler.close
+        )
+        if self.owns_evaluator and hasattr(self.evaluator, "close"):
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.evaluator.close
+            )
+        # 4. Tear down idle connection readers (their requests are done).
+        for task in list(self._conn_tasks):
+            task.cancel()
+        with contextlib.suppress(Exception, asyncio.TimeoutError):
+            await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+        self._stopped.set()
+
+    # -- request tracking ------------------------------------------------
+    def _track_start(self) -> None:
+        assert self._idle is not None
+        self._active += 1
+        self._idle.clear()
+
+    def _track_end(self) -> None:
+        assert self._idle is not None
+        self._active -= 1
+        if self._active == 0:
+            self._idle.set()
+
+    # -- connection handling ---------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionError:
+                    break
+                except (ValueError, asyncio.LimitOverrunError):
+                    # A frame beyond the stream limit: tell the client why
+                    # before dropping the (now unframeable) connection.
+                    self.rejected += 1
+                    with contextlib.suppress(Exception):
+                        writer.write(
+                            protocol.encode_message(
+                                protocol.error_response(
+                                    None,
+                                    "protocol",
+                                    f"frame exceeds the "
+                                    f"{protocol.MAX_LINE_BYTES}-byte limit",
+                                )
+                            )
+                        )
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                # The whole frame lifecycle counts as in-flight — including
+                # writing the response — so a graceful shutdown never
+                # cancels a connection between computing a result and
+                # flushing it to the client.
+                self._track_start()
+                try:
+                    response = await self._handle_frame(line)
+                    writer.write(protocol.encode_message(response))
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        break
+                finally:
+                    self._track_end()
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled the idle reader
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_frame(self, line: bytes) -> dict:
+        try:
+            message = protocol.decode_message(line)
+        except protocol.ProtocolError as exc:
+            self.rejected += 1
+            return protocol.error_response(None, "protocol", str(exc))
+        request_id = message.get("id")
+        op = message.get("op")
+        self.requests += 1
+        try:
+            if op == "evaluate":
+                points = protocol.points_from_wire([message.get("point")])
+                results = await self._evaluate(points)
+                return protocol.ok_response(
+                    request_id, evaluation=protocol.evaluation_to_wire(results[0])
+                )
+            if op == "evaluate_many":
+                points = protocol.points_from_wire(message.get("points"))
+                results = await self._evaluate(points)
+                return protocol.ok_response(
+                    request_id,
+                    evaluations=[protocol.evaluation_to_wire(r) for r in results],
+                )
+            if op == "stats":
+                return protocol.ok_response(request_id, stats=self.stats())
+            if op == "shutdown":
+                self.request_shutdown()
+                return protocol.ok_response(request_id, closing=True)
+            self.rejected += 1
+            return protocol.error_response(
+                request_id, "protocol", f"unknown op {op!r}"
+            )
+        except protocol.ProtocolError as exc:
+            self.rejected += 1
+            return protocol.error_response(request_id, "protocol", str(exc))
+        except ServiceClosedError as exc:
+            self.rejected += 1
+            return protocol.error_response(request_id, "closed", str(exc))
+        except Exception as exc:  # evaluator errors reach the caller, typed
+            return protocol.error_response(
+                request_id, type(exc).__name__, str(exc)
+            )
+
+    async def _evaluate(self, points: Sequence) -> list:
+        if self._closing:
+            raise ServiceClosedError("service is shutting down")
+        assert self._budget is not None
+        await self._budget.acquire(len(points))
+        try:
+            if not points:
+                return []
+            try:
+                future = self.scheduler.submit(points)
+            except RuntimeError as exc:  # "scheduler is closed"
+                raise ServiceClosedError(str(exc)) from exc
+            return await asyncio.wrap_future(future)
+        finally:
+            await self._budget.release(len(points))
+
+    # -- stats -----------------------------------------------------------
+    def stats(self) -> dict:
+        """A JSON-ready snapshot of service, scheduler and evaluator state."""
+        scheduler = self.scheduler
+        ticks = scheduler.ticks
+        stats = {
+            "wire_version": protocol.WIRE_VERSION,
+            "service": {
+                "connections": self.connections,
+                "requests": self.requests,
+                "rejected": self.rejected,
+                "active": self._active,
+                "closing": self._closing,
+                "max_inflight_points": self.max_inflight_points,
+                "inflight_points": self._budget.used if self._budget else 0,
+                "queued_requests": self._budget.waiting if self._budget else 0,
+                "peak_inflight_points": self._budget.peak if self._budget else 0,
+            },
+            "scheduler": {
+                "ticks": ticks,
+                "requests": scheduler.requests,
+                "points_in": scheduler.points_in,
+                "largest_batch": scheduler.largest_batch,
+                "errors": scheduler.errors,
+                "coalescing_ratio": (
+                    scheduler.requests / ticks if ticks else None
+                ),
+                "tick_s": scheduler.tick_s,
+                "max_batch_points": scheduler.max_batch_points,
+            },
+            "evaluator": self._evaluator_stats(),
+        }
+        return stats
+
+    def _evaluator_stats(self) -> dict:
+        ev = self.evaluator
+        stats: dict = {"type": type(ev).__name__}
+        for attr in ("hits", "misses", "hit_rate", "cache_size", "workers"):
+            value = getattr(ev, attr, None)
+            if value is not None:
+                stats[attr] = value
+        pool = getattr(ev, "pool", None)
+        if pool is not None:
+            stats["pool"] = {
+                "batches": pool.batches,
+                "items": pool.items,
+                "restarts": pool.restarts,
+                "payload_bytes": pool.payload_bytes,
+            }
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# Background-thread runner (tests, notebooks, client-mode CLIs)
+# ---------------------------------------------------------------------------
+
+
+class ServiceHandle:
+    """A :class:`SearchService` running on a dedicated background thread.
+
+    The thread owns the event loop; :meth:`shutdown` requests the graceful
+    drain from outside and joins the thread.  Use as a context manager.
+    """
+
+    def __init__(self, service: SearchService) -> None:
+        self.service = service
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._main, name="search-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            raise self._error
+
+    def _main(self) -> None:
+        async def body() -> None:
+            await self.service.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.service.serve_forever()
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # surface bind failures to the caller
+            self._error = exc
+        finally:
+            self._ready.set()  # never leave the constructor hanging
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.service.host, self.service.port)
+
+    def shutdown(self, timeout: float | None = 60.0) -> None:
+        """Graceful drain + stop from any thread (idempotent)."""
+        loop = self._loop
+        if loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def start_service(evaluator, **kwargs) -> ServiceHandle:
+    """Spin up a service on a background thread; returns once it is bound.
+
+    Keyword arguments go to :class:`SearchService`.  The handle's
+    :attr:`~ServiceHandle.address` is the live (host, port).
+    """
+    return ServiceHandle(SearchService(evaluator, **kwargs))

@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 import signal
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -29,6 +30,7 @@ from repro.nas.space import DnnSpace
 from repro.parallel import (
     MicroBatchScheduler,
     ParallelEvaluator,
+    WorkerPool,
     create_evaluator,
     merge_shards,
     replication_payload,
@@ -362,3 +364,204 @@ class TestStackIntegration:
             c.sample.tokens for c in serial.rescored
         ]
         assert sharded.history.rewards().tolist() == serial.history.rewards().tolist()
+
+
+# ---------------------------------------------------------------------------
+# Scheduler / pool lifecycle (regression pins for the service hardening)
+# ---------------------------------------------------------------------------
+
+
+class _GateEvaluator:
+    """Evaluator stub that blocks inside ``evaluate_many`` until released."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def evaluate_many(self, points):
+        self.entered.set()
+        assert self.release.wait(30.0), "gate was never released"
+        return self.inner.evaluate_many(points)
+
+
+class TestSchedulerLifecycle:
+    def test_concurrent_close_waits_for_drain(self, smoke_context):
+        """Regression: a second closer used to take close()'s idempotency
+        early-return while the first closer was still draining, so its
+        close() returned with requests still un-served."""
+        inner = _GateEvaluator(BatchEvaluator(smoke_context.fast_evaluator))
+        scheduler = MicroBatchScheduler(inner, auto_start=False)
+        future = scheduler.submit(_population(2, seed=81))
+        first = threading.Thread(target=scheduler.close)
+        first.start()
+        assert inner.entered.wait(10.0), "first closer never began draining"
+        observed = {}
+
+        def second_close():
+            scheduler.close()
+            observed["drained"] = future.done()
+
+        second = threading.Thread(target=second_close)
+        second.start()
+        second.join(0.5)
+        assert second.is_alive(), (
+            "the second closer must block until the drain completes"
+        )
+        inner.release.set()
+        second.join(20.0)
+        first.join(20.0)
+        assert not first.is_alive() and not second.is_alive()
+        assert observed["drained"], (
+            "close() returning must mean the queue has been drained"
+        )
+        assert len(future.result()) == 2
+
+    def test_concurrent_close_storm_auto_mode(self, smoke_context):
+        """Eight simultaneous closers on a running scheduler: no
+        exceptions, every closer returns, the request is served."""
+        evaluator = BatchEvaluator(smoke_context.fast_evaluator)
+        scheduler = MicroBatchScheduler(evaluator, tick_s=0.001)
+        future = scheduler.submit(_population(2, seed=83))
+        errors: list = []
+
+        def close():
+            try:
+                scheduler.close()
+            except BaseException as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
+        assert future.done() and len(future.result()) == 2
+        scheduler.close()  # still idempotent afterwards
+
+    def test_reentrant_close_from_draining_thread(self, smoke_context):
+        """close() re-entered on the closing thread itself (a signal
+        handler firing mid-close) returns instead of deadlocking on its
+        own drain."""
+
+        class _ReentrantClose:
+            def __init__(self, inner):
+                self.inner = inner
+                self.scheduler = None
+
+            def evaluate_many(self, points):
+                self.scheduler.close()  # reentrant: we ARE the drain
+                return self.inner.evaluate_many(points)
+
+        inner = _ReentrantClose(BatchEvaluator(smoke_context.fast_evaluator))
+        scheduler = MicroBatchScheduler(inner, auto_start=False)
+        inner.scheduler = scheduler
+        future = scheduler.submit(_population(1, seed=87))
+        closer = threading.Thread(target=scheduler.close)
+        closer.start()
+        closer.join(20.0)
+        assert not closer.is_alive(), "reentrant close must not deadlock"
+        assert future.done()
+
+    def test_close_from_scheduler_thread_mid_batch(self, smoke_context):
+        """An evaluator closing the scheduler from inside a running batch
+        (auto mode: that call runs ON the scheduler thread) flags the
+        shutdown and returns — it must not deadlock itself or the real
+        closer joining the thread."""
+
+        class _ClosingEvaluator:
+            def __init__(self, inner):
+                self.inner = inner
+                self.scheduler = None
+
+            def evaluate_many(self, points):
+                self.scheduler.close()  # executes on the scheduler thread
+                return self.inner.evaluate_many(points)
+
+        inner = _ClosingEvaluator(BatchEvaluator(smoke_context.fast_evaluator))
+        scheduler = MicroBatchScheduler(inner, tick_s=0.0)
+        inner.scheduler = scheduler
+        future = scheduler.submit(_population(1, seed=95))
+        closer = threading.Thread(target=scheduler.close)
+        closer.start()
+        closer.join(20.0)
+        assert not closer.is_alive(), "closer must not deadlock"
+        assert future.done() and len(future.result()) == 1
+
+    def test_failed_batches_count_ticks_and_errors(self, smoke_context):
+        """Regression: _run_batch only bumped ticks/largest_batch on
+        success, so the stats under-reported traffic under evaluator
+        errors (and exposed no error count at all)."""
+        inner = _CountingEvaluator(
+            BatchEvaluator(smoke_context.fast_evaluator), fail=True
+        )
+        scheduler = MicroBatchScheduler(inner, auto_start=False)
+        points = _population(3, seed=89)
+        future = scheduler.submit(points)
+        scheduler.flush()
+        assert isinstance(future.exception(), RuntimeError)
+        assert scheduler.ticks == 1, "a failed batch is still a tick"
+        assert scheduler.errors == 1
+        assert scheduler.largest_batch == 3
+        inner.fail = False
+        scheduler.evaluate_many(points)
+        assert (scheduler.ticks, scheduler.errors) == (2, 1)
+
+    def test_cancelled_queued_request_is_skipped(self, smoke_context):
+        """A future cancelled while queued is dropped at dispatch, so
+        ``set_result`` can never race a cancellation."""
+        inner = _CountingEvaluator(BatchEvaluator(smoke_context.fast_evaluator))
+        scheduler = MicroBatchScheduler(inner, auto_start=False)
+        keep = scheduler.submit(_population(2, seed=91))
+        dropped = scheduler.submit(_population(2, seed=93))
+        assert dropped.cancel()
+        scheduler.flush()
+        assert keep.done() and not keep.cancelled()
+        assert inner.calls == [2], (
+            "a cancelled request's points must not be evaluated"
+        )
+
+
+def _lifecycle_task(shard):
+    """Module-level task fn (spawn pickles it by reference)."""
+    kind, delay, path = shard[0]
+    time.sleep(delay)
+    if kind == "fail":
+        raise ValueError("task failure")
+    if path:
+        with open(path, "w") as handle:
+            handle.write("done")
+    return kind
+
+
+class TestWorkerPoolTaskErrors:
+    def test_task_error_harvests_all_futures(self, tmp_path):
+        """Regression: run_tasks used to propagate the first genuine task
+        error immediately, abandoning later shards' futures while their
+        work was still running inside the executor."""
+        import pickle
+
+        pool = WorkerPool(pickle.dumps("lifecycle-state"), workers=2)
+        try:
+            marker = tmp_path / "slow_done.txt"
+            shards = [
+                [("fail", 0.0, "")],
+                [("ok", 1.0, str(marker))],
+            ]
+            with pytest.raises(ValueError, match="task failure"):
+                pool.run_tasks(_lifecycle_task, shards)
+            assert marker.exists(), (
+                "every in-flight future must be harvested before a task "
+                "error propagates — no abandoned work may still be "
+                "running in the executor"
+            )
+            # The pool is immediately reusable after a task error.
+            ok = tmp_path / "reuse.txt"
+            assert pool.run_tasks(
+                _lifecycle_task, [[("ok", 0.0, str(ok))]]
+            ) == ["ok"]
+            assert ok.exists()
+        finally:
+            pool.close()

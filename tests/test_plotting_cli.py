@@ -79,7 +79,9 @@ class TestCli:
         sub = next(a for a in parser._actions
                    if isinstance(a, type(parser._subparsers._group_actions[0])))
         commands = set(sub.choices)
-        assert commands == {"run", "fig4", "fig5", "fig6", "table2", "space"}
+        assert commands == {
+            "run", "fig4", "fig5", "fig6", "table2", "space", "serve",
+        }
 
     def test_space_command(self, capsys):
         assert main(["space"]) == 0

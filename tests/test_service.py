@@ -1,0 +1,469 @@
+"""The search-evaluation service (``repro.service``).
+
+Covers the guarantees the service makes:
+
+* **Wire fidelity** — the versioned NDJSON codec round-trips co-design
+  points and evaluations exactly (``==``, no tolerances), and rejects
+  mismatched versions and malformed frames.
+* **Bit-identical remote scoring** — >= 8 concurrent clients each get
+  the same evaluations a local ``evaluate_many`` produces for their
+  request, while the scheduler coalesces the traffic.
+* **Graceful shutdown** — the ``shutdown`` verb drains every queued
+  request (none dropped, none double-run) before the endpoint goes away.
+* **Backpressure** — the bounded in-flight points budget queues a flood
+  instead of letting it balloon the scheduler queue.
+
+CI runs this module inside the tier-1 suite and as a dedicated service
+job; everything here is spawn-safe and tolerant of 1-CPU hosts (no
+timing assertions — only counters and exact values).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.accel.config import random_config
+from repro.nas.encoding import CoDesignPoint, encode
+from repro.nas.space import DnnSpace
+from repro.search.evaluator import BatchEvaluator, Evaluation
+from repro.service import (
+    ProtocolError,
+    RemoteEvaluator,
+    ServiceClient,
+    ServiceError,
+    parse_endpoint,
+    start_service,
+)
+from repro.service import protocol
+
+
+def _population(n: int, seed: int = 211) -> list[CoDesignPoint]:
+    rng = np.random.default_rng(seed)
+    space = DnnSpace()
+    return [
+        CoDesignPoint(space.sample(rng, name=f"svc{seed}_{i}"), random_config(rng))
+        for i in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+
+
+class TestWireCodec:
+    def test_point_roundtrip_exact(self):
+        for point in _population(6, seed=3):
+            wire = protocol.point_to_wire(point)
+            back = protocol.point_from_wire(wire)
+            assert back == point
+            assert back.genotype.name == point.genotype.name
+            assert encode(back) == encode(point)
+
+    def test_point_roundtrip_through_json_frame(self):
+        point = _population(1, seed=5)[0]
+        frame = protocol.encode_message(
+            {"v": protocol.WIRE_VERSION, "point": protocol.point_to_wire(point)}
+        )
+        message = protocol.decode_message(frame)
+        assert protocol.point_from_wire(message["point"]) == point
+
+    def test_evaluation_roundtrip_is_bit_exact(self):
+        # repr-based JSON floats survive the wire unchanged — including
+        # values with no short decimal form.
+        awkward = Evaluation(
+            accuracy=1.0 / 3.0,
+            latency_ms=0.1 + 0.2,
+            energy_mj=1.2345678901234567e-5,
+        )
+        frame = protocol.encode_message(
+            {
+                "v": protocol.WIRE_VERSION,
+                "evaluation": protocol.evaluation_to_wire(awkward),
+            }
+        )
+        message = protocol.decode_message(frame)
+        assert protocol.evaluation_from_wire(message["evaluation"]) == awkward
+
+    def test_version_mismatch_rejected(self):
+        frame = protocol.encode_message({"v": protocol.WIRE_VERSION + 1, "op": "stats"})
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.decode_message(frame)
+
+    def test_malformed_frames_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_message(b"not json\n")
+        with pytest.raises(ProtocolError):
+            protocol.decode_message(b"[1, 2, 3]\n")
+        with pytest.raises(ProtocolError):
+            protocol.point_from_wire({"tokens": "nope"})
+        with pytest.raises(ProtocolError):
+            protocol.point_from_wire({"tokens": [1, 2, 3]})  # wrong length
+        with pytest.raises(ProtocolError):
+            protocol.evaluation_from_wire({"accuracy": 0.5})
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("10.1.2.3:7777") == ("10.1.2.3", 7777)
+        assert parse_endpoint(":8000") == ("127.0.0.1", 8000)
+        with pytest.raises(ValueError):
+            parse_endpoint("no-port")
+
+
+# ---------------------------------------------------------------------------
+# Live service
+# ---------------------------------------------------------------------------
+
+
+class _GatedEvaluator:
+    """Blocks inside evaluate_many until released (drain/backpressure)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.calls: list[int] = []
+
+    def evaluate_many(self, points):
+        self.calls.append(len(points))
+        self.entered.set()
+        assert self.release.wait(60.0), "gate was never released"
+        return self.inner.evaluate_many(points)
+
+
+class _FailingEvaluator:
+    def __init__(self, inner):
+        self.inner = inner
+        self.fail = True
+
+    def evaluate_many(self, points):
+        if self.fail:
+            raise ValueError("injected evaluator failure")
+        return self.inner.evaluate_many(points)
+
+
+def _poll(predicate, timeout: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("condition never became true")
+
+
+class TestSearchService:
+    def test_eight_concurrent_clients_bit_identical(self, smoke_context):
+        """The acceptance bar: >= 8 concurrent clients all receive results
+        ``==`` a cold in-process ``evaluate_many``.
+
+        Each client sends the same 12-point batch, so however the ticks
+        land, the unique cold set the evaluator materialises matches the
+        local call exactly (the evaluator dedups unique candidates before
+        the GP, and repeats are cache hits) — no timing dependence.
+        """
+        fast = smoke_context.fast_evaluator
+        points = _population(12, seed=7)
+        reference = BatchEvaluator(fast).evaluate_many(points)
+        results: list = [None] * 8
+        failures: list = []
+        with start_service(BatchEvaluator(fast), tick_s=0.005) as handle:
+            host, port = handle.address
+
+            def client(i: int) -> None:
+                try:
+                    with ServiceClient(host, port) as c:
+                        results[i] = c.evaluate_many(points)
+                except BaseException as exc:  # pragma: no cover
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120.0)
+            assert failures == []
+            with ServiceClient(host, port) as c:
+                stats = c.stats()
+        assert results == [reference] * 8, (
+            "remote scoring must be bit-identical to in-process "
+            "evaluate_many for every concurrent client"
+        )
+        assert stats["scheduler"]["requests"] == 8
+        assert stats["scheduler"]["points_in"] == 8 * len(points)
+        assert stats["scheduler"]["errors"] == 0
+        assert 1 <= stats["scheduler"]["ticks"] <= 8
+
+    def test_overlapping_chunks_after_warmup_are_exact_slices(self, smoke_context):
+        """Warm traffic: once one client has scored the population, every
+        concurrent chunk request is served as exact slices of it."""
+        fast = smoke_context.fast_evaluator
+        points = _population(20, seed=17)
+        reference = BatchEvaluator(fast).evaluate_many(points)
+        chunks = [points[(3 * i) % 15 : (3 * i) % 15 + 5] for i in range(8)]
+        expected = [reference[(3 * i) % 15 : (3 * i) % 15 + 5] for i in range(8)]
+        results: list = [None] * 8
+        failures: list = []
+        with start_service(BatchEvaluator(fast), tick_s=0.002) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as warm:
+                assert warm.evaluate_many(points) == reference
+
+            def client(i: int) -> None:
+                try:
+                    with ServiceClient(host, port) as c:
+                        results[i] = c.evaluate_many(chunks[i])
+                except BaseException as exc:  # pragma: no cover
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120.0)
+        assert failures == []
+        assert results == expected
+
+    def test_evaluate_single_and_stats_verbs(self, smoke_context):
+        fast = smoke_context.fast_evaluator
+        point = _population(1, seed=11)[0]
+        reference = BatchEvaluator(fast).evaluate(point)
+        with start_service(BatchEvaluator(fast)) as handle:
+            with ServiceClient(*handle.address) as client:
+                assert client.evaluate(point) == reference
+                stats = client.stats()
+        assert stats["wire_version"] == protocol.WIRE_VERSION
+        assert stats["evaluator"]["type"] == "BatchEvaluator"
+        assert stats["evaluator"]["misses"] >= 1
+        assert stats["service"]["requests"] == 2
+
+    def test_graceful_shutdown_drains_queued_requests(self, smoke_context):
+        """Shutdown while requests are mid-flight and queued: every client
+        still gets its full, correct answer; nothing is dropped."""
+        fast = smoke_context.fast_evaluator
+        gated = _GatedEvaluator(BatchEvaluator(fast))
+        # Identical requests: however the drain ticks coalesce them, the
+        # unique cold set matches the local call, so parity stays exact.
+        chunk = _population(2, seed=13)
+        reference = BatchEvaluator(fast).evaluate_many(chunk)
+        results: list = [None] * 4
+        failures: list = []
+        handle = start_service(gated, tick_s=0.0)
+        host, port = handle.address
+
+        def client(i: int) -> None:
+            try:
+                with ServiceClient(host, port) as c:
+                    results[i] = c.evaluate_many(chunk)
+            except BaseException as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        assert gated.entered.wait(30.0), "no request reached the evaluator"
+        with ServiceClient(host, port) as c:
+            # All four requests must be queued before the shutdown lands
+            # (later arrivals would be rejected by design, not drained).
+            _poll(lambda: c.stats()["scheduler"]["requests"] == 4)
+            ack = c.shutdown()
+        assert ack.get("closing") is True
+        gated.release.set()
+        for t in threads:
+            t.join(120.0)
+        handle.shutdown()
+        assert failures == []
+        assert results == [reference] * 4, (
+            "graceful shutdown must drain queued requests with correct "
+            "results — no drops, no double runs"
+        )
+        # The endpoint is really gone afterwards.
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=2.0).close()
+        # Every queued point was evaluated exactly once (no double runs).
+        assert sum(gated.calls) == 4 * len(chunk)
+
+    def test_backpressure_bounds_inflight_points(self, smoke_context):
+        """With a 4-point budget, a 12-point flood queues instead of all
+        reaching the scheduler at once."""
+        fast = smoke_context.fast_evaluator
+        gated = _GatedEvaluator(BatchEvaluator(fast))
+        chunk = _population(2, seed=29)
+        reference = BatchEvaluator(fast).evaluate_many(chunk)
+        results: list = [None] * 6
+        failures: list = []
+        with start_service(
+            gated, tick_s=0.0, max_inflight_points=4
+        ) as handle:
+            host, port = handle.address
+
+            def client(i: int) -> None:
+                try:
+                    with ServiceClient(host, port) as c:
+                        results[i] = c.evaluate_many(chunk)
+                except BaseException as exc:  # pragma: no cover
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            assert gated.entered.wait(30.0)
+            with ServiceClient(host, port) as c:
+                # The budget admits exactly 2 two-point requests; the other
+                # 4 requests queue on the budget, NOT in the scheduler.
+                _poll(lambda: c.stats()["service"]["queued_requests"] == 4)
+                stats = c.stats()
+                assert stats["service"]["inflight_points"] == 4
+                assert stats["scheduler"]["points_in"] == 4
+            gated.release.set()
+            for t in threads:
+                t.join(120.0)
+            with ServiceClient(host, port) as c:
+                final = c.stats()
+        assert failures == []
+        assert results == [reference] * 6
+        assert final["scheduler"]["points_in"] == 12
+        assert final["service"]["peak_inflight_points"] <= 4
+
+    def test_evaluator_error_is_reported_and_service_survives(self, smoke_context):
+        fast = smoke_context.fast_evaluator
+        failing = _FailingEvaluator(BatchEvaluator(fast))
+        points = _population(2, seed=41)
+        reference = BatchEvaluator(fast).evaluate_many(points)
+        with start_service(failing) as handle:
+            with ServiceClient(*handle.address) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.evaluate_many(points)
+                assert excinfo.value.kind == "ValueError"
+                failing.fail = False
+                assert client.evaluate_many(points) == reference
+                stats = client.stats()
+        assert stats["scheduler"]["errors"] == 1
+        assert stats["scheduler"]["ticks"] == 2
+
+    def test_unknown_op_and_bad_version_get_error_responses(self, smoke_context):
+        fast = smoke_context.fast_evaluator
+        with start_service(BatchEvaluator(fast)) as handle:
+            with ServiceClient(*handle.address) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client._call("sudo")
+                assert excinfo.value.kind == "protocol"
+            # A raw frame with the wrong version is rejected, not parsed.
+            with socket.create_connection(handle.address, timeout=10.0) as sock:
+                sock.sendall(b'{"v": 999, "id": 1, "op": "stats"}\n')
+                raw = sock.makefile("rb").readline()
+            response = protocol.decode_message(raw)
+            assert response["ok"] is False
+            assert response["error"]["type"] == "protocol"
+
+    @pytest.mark.slow
+    def test_service_over_parallel_evaluator(self, smoke_context):
+        """The production shape: service -> scheduler -> ParallelEvaluator
+        -> worker pool, still bit-identical to in-process scoring."""
+        from repro.parallel import ParallelEvaluator
+
+        fast = smoke_context.fast_evaluator
+        points = _population(10, seed=43)
+        reference = BatchEvaluator(fast).evaluate_many(points)
+        evaluator = ParallelEvaluator(fast, workers=2, min_dispatch=2)
+        try:
+            with start_service(evaluator, tick_s=0.005) as handle:
+                host, port = handle.address
+                results: list = [None, None]
+                failures: list = []
+
+                def client(i: int) -> None:
+                    try:
+                        with ServiceClient(host, port) as c:
+                            results[i] = c.evaluate_many(points)
+                    except BaseException as exc:  # pragma: no cover
+                        failures.append(exc)
+
+                threads = [
+                    threading.Thread(target=client, args=(i,)) for i in range(2)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(240.0)
+                assert failures == []
+            assert results == [reference, reference]
+        finally:
+            evaluator.close()
+
+
+# ---------------------------------------------------------------------------
+# RemoteEvaluator (the --endpoint client adapter)
+# ---------------------------------------------------------------------------
+
+
+class TestRemoteEvaluator:
+    def test_drop_in_evaluator_shape(self, smoke_context):
+        fast = smoke_context.fast_evaluator
+        points = _population(6, seed=47)
+        local = BatchEvaluator(fast)
+        reference = local.evaluate_many(points)
+        tokens = [encode(p) for p in points]
+        reference_tokens = BatchEvaluator(fast).evaluate_tokens(tokens)
+        with start_service(BatchEvaluator(fast)) as handle:
+            host, port = handle.address
+            with RemoteEvaluator(f"{host}:{port}") as remote:
+                assert remote.evaluate_many(points) == reference
+                assert remote.evaluate(points[0]) == reference[0]
+                assert remote.evaluate_tokens(tokens) == reference_tokens
+                # Cache accounting reads proxy the server-side evaluator.
+                assert remote.misses == len(points)
+                assert remote.hits > 0
+                assert 0.0 <= remote.hit_rate <= 1.0
+                assert remote.cache_size > 0
+
+    @pytest.mark.slow
+    def test_report_endpoint_mode_matches_local(self, smoke_context):
+        """The report path scored through a live service equals the local
+        report for every experiment number (the trailing efficiency
+        section embeds wall-clock and cache state, which differ by
+        design).  Both runs start from a cold evaluator so the call
+        compositions — and therefore every score — line up exactly."""
+        from dataclasses import replace
+
+        from repro.experiments.report import generate_report
+
+        fast = smoke_context.fast_evaluator
+        local_context = replace(
+            smoke_context, batch_evaluator=BatchEvaluator(fast), workers=1
+        )
+        local = generate_report("smoke", seed=0, context=local_context,
+                                iterations=4, correlation_models=2)
+        with start_service(BatchEvaluator(fast)) as handle:
+            host, port = handle.address
+            remote = generate_report(
+                "smoke", seed=0, context=smoke_context,
+                iterations=4, correlation_models=2,
+                endpoint=f"{host}:{port}",
+            )
+        assert "Search service: endpoint" in remote
+
+        def sections(report: str) -> dict[str, str]:
+            parts = report.split("\n## ")
+            return {part.split("\n", 1)[0]: part for part in parts[1:]}
+
+        local_sections, remote_sections = sections(local), sections(remote)
+        assert set(local_sections) == set(remote_sections)
+        for name in local_sections:
+            # Fig. 4 embeds a wall-clock speedup column (and never touches
+            # the evaluator); the efficiency section differs by design.
+            if name.startswith(("Fig. 4", "Evaluator efficiency")):
+                continue
+            assert remote_sections[name] == local_sections[name], (
+                f"section {name!r} must be identical when scoring goes "
+                "through the service"
+            )
