@@ -46,6 +46,7 @@ def quick_codesign(
     seed: int = 0,
     workers: int = 1,
     train_fast: bool = False,
+    store: str | None = None,
 ):
     """Run the full three-step YOSO pipeline at a small scale.
 
@@ -56,6 +57,11 @@ def quick_codesign(
     ``train_fast=True`` runs Step-3 training under the compact-cache
     training kernels (same recipe, gradients matching the standard
     kernels at rel 1e-6; off by default for paper fidelity).
+    ``store`` names a durable :class:`repro.store.ResultStore` file: a
+    second run on the same path replays persisted simulator samples,
+    fast evaluations and trained accuracies bit-identically instead of
+    recomputing them (leave ``None`` for the byte-identical store-less
+    behaviour).
     """
     from .experiments.common import demo_thresholds
     from .nn.data import SyntheticCifar
@@ -80,6 +86,7 @@ def quick_codesign(
         rescore_epochs=s.standalone_epochs,
         workers=workers,
         train_fast=train_fast,
+        store_path=store,
         seed=seed,
     )
     # Thresholds scale with the workload; use the demo-calibrated values.

@@ -30,13 +30,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="run stand-alone training under the compact-cache training "
              "kernels (same recipe, gradients match the standard kernels "
              "at rel 1e-6; default keeps the paper-fidelity kernels)")
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="durable result-store file (repro.store): persisted "
+             "simulator samples, fast evaluations and trained accuracies "
+             "are replayed bit-identically and fresh results appended, so "
+             "repeat runs and service restarts are warm (default: no "
+             "store, byte-identical to store-less behaviour)")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     from repro import quick_codesign
 
     result = quick_codesign(args.scale, seed=args.seed, workers=args.workers,
-                            train_fast=args.train_fast)
+                            train_fast=args.train_fast, store=args.store)
     best = result.best
     print(f"final co-design : {best.point().describe()}")
     print(f"accuracy        : {best.accurate.accuracy:.3f}")
@@ -62,7 +69,7 @@ def cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments.plotting import line_chart, scatter_chart
 
     context = get_context(args.scale, args.seed, workers=args.workers,
-                          train_fast=args.train_fast)
+                          train_fast=args.train_fast, store_path=args.store)
     curve = run_fig5a(args.scale, args.seed, context=context)
     print(line_chart({"hypernet": curve.accuracy},
                      title="Fig 5(a): HyperNet training accuracy",
@@ -81,7 +88,8 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     from repro.experiments.fig6 import run_fig6_tradeoff, run_fig6a
     from repro.experiments.plotting import line_chart, scatter_chart
 
-    context = get_context(args.scale, args.seed, workers=args.workers)
+    context = get_context(args.scale, args.seed, workers=args.workers,
+                          store_path=args.store)
     a = run_fig6a(args.scale, args.seed, context=context,
                   iterations=args.iterations)
     print(line_chart(
@@ -112,7 +120,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments.table2 import run_table2
 
     context = get_context(args.scale, args.seed, workers=args.workers,
-                          train_fast=args.train_fast)
+                          train_fast=args.train_fast, store_path=args.store)
     result = run_table2(args.scale, args.seed, context=context,
                         iterations=args.iterations,
                         rescore_training=args.rescore_training)
@@ -124,7 +132,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.experiments.common import get_context
     from repro.service import SearchService
 
-    context = get_context(args.scale, args.seed, workers=args.workers)
+    context = get_context(args.scale, args.seed, workers=args.workers,
+                          store_path=args.store)
     service = SearchService(
         context.batch_evaluator,
         host=args.host,
@@ -132,6 +141,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tick_s=args.tick_s,
         max_batch_points=args.max_batch_points,
         max_inflight_points=args.max_inflight,
+        # The context opened the store (shared with sample collection) and
+        # its atexit cleanup closes it; the service syncs it on drain.
+        store=context.store,
     )
     # The context owns the evaluator (and its worker pool); the atexit
     # cleanup in repro.experiments.common closes it after the drain.

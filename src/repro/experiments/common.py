@@ -15,6 +15,7 @@ the paper's values do.
 from __future__ import annotations
 
 import atexit
+import os
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -63,6 +64,10 @@ class ExperimentContext:
     #: table2 training rescore) under the compact-cache training kernels.
     #: Off by default for paper fidelity.
     train_fast: bool = False
+    #: The durable tier-2 result store behind the evaluator caches
+    #: (``--store PATH``), or ``None``.  Shared by every context built on
+    #: the same path in this process (single-writer file).
+    store: object | None = None
 
     @property
     def num_cells(self) -> int:
@@ -73,19 +78,43 @@ class ExperimentContext:
         return self.scale.hypernet_channels
 
 
-_CACHE: dict[tuple[str, int, int, bool], ExperimentContext] = {}
+_CACHE: dict[tuple[str, int, int, bool, str | None], ExperimentContext] = {}
+
+#: Open ResultStore instances by absolute path.  The store enforces
+#: single-writer locking, so every context built on one path in this
+#: process must share ONE open instance rather than reopening the file.
+_STORES: dict[str, object] = {}
+
+
+def _get_store(store_path: str | None):
+    """The process-wide writer instance for ``store_path`` (or ``None``)."""
+    if store_path is None:
+        return None
+    from ..store import ResultStore
+
+    path = os.path.abspath(store_path)
+    store = _STORES.get(path)
+    if store is None or getattr(store, "closed", False):
+        store = ResultStore(path, mode="a")
+        _STORES[path] = store
+    return store
 
 
 def clear_context_cache() -> None:
     """Drop cached contexts (tests use this to force rebuilds).
 
-    Parallel-backed contexts shut their worker pools down first, so
-    clearing never leaks processes.
+    Parallel-backed contexts shut their worker pools down first, and any
+    open durable stores are flushed and closed (reopening the same path
+    later loads the persisted records back), so clearing never leaks
+    processes or file locks.
     """
     for context in _CACHE.values():
         if hasattr(context.batch_evaluator, "close"):
             context.batch_evaluator.close()
     _CACHE.clear()
+    for store in _STORES.values():
+        store.close()
+    _STORES.clear()
 
 
 # Cached parallel-backed contexts hold live worker pools; shut them down
@@ -131,6 +160,7 @@ def get_context(
     seed: int = 0,
     workers: int = 1,
     train_fast: bool = False,
+    store_path: str | None = None,
 ) -> ExperimentContext:
     """Build (or fetch) the shared experiment context for a scale.
 
@@ -146,19 +176,32 @@ def get_context(
     and kernel modes: only the evaluator wrapper / flags differ, so
     asking for a new ``workers`` or ``train_fast`` value on an
     already-built context is near-free.
+
+    ``store_path`` opens (or reuses, same path) a durable
+    :class:`repro.store.ResultStore` as the tier-2 cache: Step-1 sample
+    collection reuses persisted simulator ground truth, and the shared
+    batch evaluator consults/fills the store behind its LRU — so a warm
+    store makes a fresh process's context build and searches largely
+    replay persisted results (``yoso ... --store PATH``).
     """
-    key = (scale_name, seed, workers, train_fast)
+    store_key = os.path.abspath(store_path) if store_path is not None else None
+    key = (scale_name, seed, workers, train_fast, store_key)
     if key in _CACHE:
         return _CACHE[key]
+    store = _get_store(store_path)
     for (cached_scale, cached_seed, *_rest), base in _CACHE.items():
         if cached_scale == scale_name and cached_seed == seed:
+            batch_evaluator = create_evaluator(
+                base.fast_evaluator, workers=workers
+            )
+            if store is not None:
+                batch_evaluator.attach_store(store)
             context = replace(
                 base,
-                batch_evaluator=create_evaluator(
-                    base.fast_evaluator, workers=workers
-                ),
+                batch_evaluator=batch_evaluator,
                 workers=workers,
                 train_fast=train_fast,
+                store=store,
             )
             _CACHE[key] = context
             return context
@@ -188,6 +231,7 @@ def get_context(
         stem_channels=scale.hypernet_channels,
         image_size=scale.image_size,
         num_classes=dataset.num_classes,
+        store=store,
     )
     # Evaluate search candidates on a fixed validation subset: large enough
     # to rank sub-models, small enough for thousands of search iterations.
@@ -206,6 +250,9 @@ def get_context(
     fast_evaluator.val_images = dataset.val.images[:subset]
     fast_evaluator.val_labels = dataset.val.labels[:subset]
     t_lat, t_eer = demo_thresholds(scale, simulator=simulator)
+    batch_evaluator = create_evaluator(fast_evaluator, workers=workers)
+    if store is not None:
+        batch_evaluator.attach_store(store)
     context = ExperimentContext(
         scale=scale,
         seed=seed,
@@ -219,11 +266,12 @@ def get_context(
         # accuracy) so every experiment harness — and the report CLI's
         # efficiency table — sees the same hits/misses accounting.  At
         # workers > 1 it is the sharded multi-process engine.
-        batch_evaluator=create_evaluator(fast_evaluator, workers=workers),
+        batch_evaluator=batch_evaluator,
         t_lat_ms=t_lat,
         t_eer_mj=t_eer,
         workers=workers,
         train_fast=train_fast,
+        store=store,
     )
     _CACHE[key] = context
     return context

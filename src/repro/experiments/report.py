@@ -31,6 +31,7 @@ def generate_report(
     correlation_models: int | None = None,
     workers: int = 1,
     endpoint: str | None = None,
+    store_path: str | None = None,
 ) -> str:
     """Run every experiment and return the combined markdown report.
 
@@ -52,6 +53,13 @@ def generate_report(
     :class:`~repro.service.client.RemoteEvaluator` — results are
     bit-identical to local scoring, and the efficiency section reports
     the *service's* scheduler/coalescing stats instead of a local pool.
+
+    ``store_path`` (``--store``) opens a durable result store behind the
+    evaluator LRU; the efficiency section then adds the tier-2 accounting
+    line (store hits / eligible misses and the on-disk record count), and
+    a report re-run on the same path replays persisted results
+    bit-identically.  Only applies when ``context`` is None, like
+    ``workers``.
     """
     if endpoint is not None:
         from dataclasses import replace
@@ -61,7 +69,9 @@ def generate_report(
         # ``workers`` still matters with an endpoint: candidate scoring
         # goes remote, but the harnesses' local stand-alone training
         # pools (table2's rescore path) shard by context.workers.
-        base = context or get_context(scale_name, seed, workers=workers)
+        base = context or get_context(
+            scale_name, seed, workers=workers, store_path=store_path
+        )
         # Close the connection on every exit path — a failing experiment
         # must not leak the client socket (and the server's reader task).
         with RemoteEvaluator(endpoint) as remote:
@@ -70,7 +80,9 @@ def generate_report(
                 seed, scale_name, iterations, correlation_models,
                 remote=remote, endpoint=endpoint,
             )
-    context = context or get_context(scale_name, seed, workers=workers)
+    context = context or get_context(
+        scale_name, seed, workers=workers, store_path=store_path
+    )
     return _generate(
         context, seed, scale_name, iterations, correlation_models,
         remote=None, endpoint=None,
@@ -206,6 +218,17 @@ def _generate(
                   stage_rows,
               ),
               "```"]
+    store = getattr(evaluator, "store", None)
+    if store is not None:
+        s_hits = evaluator.store_hits
+        s_total = s_hits + evaluator.store_misses
+        s_rate = 100.0 * s_hits / s_total if s_total else 0.0
+        parts += ["",
+                  f"Durable store (tier 2): {s_hits} of {s_total} eligible "
+                  f"LRU misses served from disk ({s_rate:.1f}% tier-2 hit "
+                  f"rate); {len(store)} records in {store.path} "
+                  f"({store.size_bytes} bytes, {store.appends} appended "
+                  f"this run)."]
     if remote is not None:
         stats = remote.service_stats()
         sched = stats["scheduler"]
@@ -263,11 +286,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="score candidates against a running "
                              "`yoso serve` search service instead of "
                              "in-process (bit-identical results)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="durable result-store file (repro.store): "
+                             "persisted results are replayed bit-identically "
+                             "and the efficiency section reports the tier-2 "
+                             "hit accounting")
     parser.add_argument("--output", default=None,
                         help="write the report here instead of stdout")
     args = parser.parse_args(argv)
     report = generate_report(args.scale, args.seed, iterations=args.iterations,
-                             workers=args.workers, endpoint=args.endpoint)
+                             workers=args.workers, endpoint=args.endpoint,
+                             store_path=args.store)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)

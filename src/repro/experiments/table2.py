@@ -344,6 +344,11 @@ def run_table2(
             seed=seed,
             train_fast=context.train_fast,
         )
+        if context.store is not None:
+            # Persisted trained accuracies (keyed genotype tokens + seed)
+            # are reused bit-exactly; worker replicas never see the store
+            # (hit partitioning happens in the parent).
+            rescorer.attach_store(context.store)
         if context.workers > 1:
             from ..parallel import TrainingPool
 

@@ -35,6 +35,7 @@ __all__ = [
     "HW_TOKENS",
     "token_vocab_sizes",
     "encode",
+    "encode_genotype",
     "decode",
     "random_sequence",
     "CoDesignPoint",
@@ -86,6 +87,30 @@ def encode(point: CoDesignPoint) -> list[int]:
     tokens.append(RBUF_B_CHOICES.index(cfg.rbuf_bytes))
     tokens.append(DATAFLOW_CHOICES.index(cfg.dataflow))
     _check(tokens)
+    return tokens
+
+
+def encode_genotype(genotype: Genotype) -> list[int]:
+    """Encode a genotype alone as its 40 DNN tokens (no hardware suffix).
+
+    The canonical architecture key for hardware-independent results —
+    e.g. the durable store's stand-alone training accuracies, which are
+    keyed by these tokens plus the training seed.  Raises ``ValueError``
+    for genotypes off the op/input grids, mirroring :func:`encode`.
+    """
+    tokens: list[int] = []
+    for cell in (genotype.normal, genotype.reduce):
+        for node in cell.nodes:
+            tokens.extend(
+                [node.input1, node.input2, op_index(node.op1), op_index(node.op2)]
+            )
+    if len(tokens) != DNN_TOKENS:
+        raise ValueError(
+            f"genotype must encode to {DNN_TOKENS} tokens, got {len(tokens)}"
+        )
+    for i, (tok, vocab) in enumerate(zip(tokens, _VOCAB)):
+        if not 0 <= tok < vocab:
+            raise ValueError(f"token {tok} at position {i} out of range [0, {vocab})")
     return tokens
 
 

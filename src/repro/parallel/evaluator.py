@@ -8,6 +8,9 @@ evaluators.  Everything else stays in the parent:
 
 * the encoding-keyed LRU caches (evaluations, accuracies, feature
   prefixes) — only cache *misses* are ever shipped to workers;
+* the durable tier-2 store consult/append (``attach_store``, inherited
+  from the parent's miss path), so persisted results short-circuit
+  before any pool dispatch and workers never touch the store file;
 * the cheap hardware feature suffix (``config_features``);
 * the batched GP latency/energy prediction, which runs over the full
   merged feature matrix exactly as in the single-process path;
@@ -73,6 +76,17 @@ class DispatchTuner:
     calibration batch (at most ``probe_cap`` items) before the first
     dispatch — values are identical either way, and it is the sample that
     lets every later pool dispatch calibrate the overhead.
+
+    **Pool-only sessions** (every cold batch bigger than ``probe_cap``,
+    so the probe never runs) still calibrate: each dispatch contributes a
+    ``(busiest-shard size, wall seconds)`` observation, and once
+    dispatches of two different shard sizes have been seen the
+    two-unknown least-squares fit ``seconds ~= overhead + busiest *
+    item_s`` recovers both quantities at once — the per-item cost from
+    the slope (workers run the same kernels, so the busiest shard's
+    per-item cost stands in for the local one) and the round-trip
+    overhead from the intercept.  Directly measured estimates take
+    precedence over fitted ones as soon as they exist.
     """
 
     def __init__(
@@ -98,6 +112,11 @@ class DispatchTuner:
         self.pool_overhead_s: float | None = None
         self.local_samples = 0
         self.pool_samples = 0
+        #: Pool-only calibration: raw (busiest-shard size, wall seconds)
+        #: observations and the least-squares fit over them.
+        self._pool_obs: list[tuple[int, float]] = []
+        self.fit_item_s: float | None = None
+        self.fit_overhead_s: float | None = None
 
     def wants_probe(self, items: int) -> bool:
         """Whether this cold batch should run in-process once to calibrate
@@ -121,28 +140,59 @@ class DispatchTuner:
     def observe_pool(self, items: int, seconds: float) -> None:
         """Record a pool dispatch of ``items`` cold items.
 
-        The fixed overhead is estimated as the dispatch wall time minus
-        the compute the busiest worker shard explains (``ceil(n/w)``
-        items at the measured local per-item cost); without a local
-        estimate yet the sample is ignored.
+        With a local per-item estimate, the fixed overhead is the
+        dispatch wall time minus the compute the busiest worker shard
+        explains (``ceil(n/w)`` items at the local cost).  Without one
+        (a pool-only session), the sample joins the least-squares
+        observations instead — see the class docstring.
         """
-        if items < 1 or seconds < 0 or self.local_item_s is None:
+        if items < 1 or seconds < 0:
             return
         busiest = -(-items // self.workers)  # ceil division
+        if self.local_item_s is None:
+            self._pool_obs.append((busiest, seconds))
+            if len(self._pool_obs) > 64:  # bound a long session's memory
+                self._pool_obs.pop(0)
+            self._fit_pool_obs()
+            self.pool_samples += 1
+            return
         overhead = max(0.0, seconds - busiest * self.local_item_s)
         self.pool_overhead_s = self._blend(self.pool_overhead_s, overhead)
         self.pool_samples += 1
 
+    def _fit_pool_obs(self) -> None:
+        """Two-unknown least squares over the pool-only observations.
+
+        ``seconds ~= overhead + busiest * item_s`` — solvable once
+        dispatches of at least two distinct busiest-shard sizes exist (a
+        single size leaves the intercept/slope split unidentifiable).
+        """
+        if len({busiest for busiest, _ in self._pool_obs}) < 2:
+            return
+        design = np.array(
+            [[1.0, float(busiest)] for busiest, _ in self._pool_obs]
+        )
+        observed = np.array([seconds for _, seconds in self._pool_obs])
+        (overhead, item_s), *_ = np.linalg.lstsq(design, observed, rcond=None)
+        self.fit_overhead_s = max(0.0, float(overhead))
+        self.fit_item_s = max(0.0, float(item_s))
+
     @property
     def threshold(self) -> int:
         """Smallest cold-batch size worth a pool round-trip right now."""
-        if self.local_item_s is None or self.pool_overhead_s is None:
-            return self.initial
-        if self.local_item_s <= 0.0:
-            return self.ceiling
-        n_star = self.pool_overhead_s * self.workers / (
-            self.local_item_s * (self.workers - 1)
+        item_s = (
+            self.local_item_s if self.local_item_s is not None else self.fit_item_s
         )
+        overhead_s = (
+            self.pool_overhead_s
+            if self.pool_overhead_s is not None
+            else self.fit_overhead_s
+        )
+        if item_s is None or overhead_s is None:
+            return self.initial
+        if item_s <= 0.0:
+            return self.ceiling
+        n_star = overhead_s * self.workers / (item_s * (self.workers - 1))
         return int(min(self.ceiling, max(self.floor, -(-n_star // 1))))
 
 

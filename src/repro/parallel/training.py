@@ -116,6 +116,47 @@ class TrainingPool(WorkerPool):
         return merge_shards(self.run_tasks(_run_training_shard, shards))
 
 
+def _store_partition(
+    accurate: "AccurateEvaluator", jobs: Sequence[TrainingJob]
+) -> tuple[list, list[int], list]:
+    """Resolve store-persisted trainings up front (parent-side tier 2).
+
+    Worker replicas deliberately carry no store (see
+    ``AccurateEvaluator.__getstate__``), so for the pool paths the hit
+    partition happens here in the parent before dispatch.  Returns the
+    results list (hits filled in, misses ``None``), the miss indices, and
+    each job's store key (``None`` when no store is attached or the
+    genotype is off-grid).
+    """
+    results: list = [None] * len(jobs)
+    keys: list = [None] * len(jobs)
+    store = accurate.store
+    if store is None:
+        return results, list(range(len(jobs))), keys
+    from ..nas.encoding import encode_genotype
+
+    misses: list[int] = []
+    for i, job in enumerate(jobs):
+        seed = accurate.seed if job.seed is None else job.seed
+        try:
+            keys[i] = (*encode_genotype(job.point.genotype), seed)
+        except ValueError:
+            keys[i] = None  # off-grid genotype: not store-eligible
+        values = (
+            store.get(accurate.store_namespace, keys[i])
+            if keys[i] is not None
+            else None
+        )
+        if values is not None:
+            accurate.store_hits += 1
+            results[i] = values[0]
+        else:
+            if keys[i] is not None:
+                accurate.store_misses += 1
+            misses.append(i)
+    return results, misses, keys
+
+
 def train_accuracies(
     accurate: "AccurateEvaluator",
     points: Sequence["CoDesignPoint"],
@@ -133,6 +174,14 @@ def train_accuracies(
     left open; an internally created one is torn down afterwards).
     ``seeds`` optionally assigns one deterministic seed per candidate;
     results are bit-identical to the serial loop at any worker count.
+
+    With a durable store attached to ``accurate``, persisted accuracies
+    are returned bit-exactly without retraining on every path: the serial
+    loop consults the store inside ``train_accuracy``, while the pool
+    paths partition hits in the parent and dispatch only the misses —
+    fresh results are appended afterwards.  A fully-warm store means zero
+    trainings and (for the internally-created-pool path) no pool spawn at
+    all.
     """
     if seeds is not None and len(seeds) != len(points):
         raise ValueError("seeds must match points one-to-one")
@@ -140,13 +189,26 @@ def train_accuracies(
         TrainingJob(point=point, seed=None if seeds is None else int(seeds[i]))
         for i, point in enumerate(points)
     ]
-    if pool is not None:
-        return pool.run_jobs(jobs)
-    if workers <= 1:
+    if pool is None and workers <= 1:
         return [
             accurate.train_accuracy(job.point, seed=job.seed) for job in jobs
         ]
-    with TrainingPool(
-        accurate, workers, start_method=start_method, max_restarts=max_restarts
-    ) as created:
-        return created.run_jobs(jobs)
+    results, miss_idx, keys = _store_partition(accurate, jobs)
+    miss_jobs = [jobs[i] for i in miss_idx]
+    if miss_jobs:
+        if pool is not None:
+            trained = pool.run_jobs(miss_jobs)
+        else:
+            with TrainingPool(
+                accurate,
+                workers,
+                start_method=start_method,
+                max_restarts=max_restarts,
+            ) as created:
+                trained = created.run_jobs(miss_jobs)
+        store = accurate.store
+        for i, accuracy in zip(miss_idx, trained):
+            results[i] = accuracy
+            if store is not None and keys[i] is not None:
+                store.append(accurate.store_namespace, keys[i], (accuracy,))
+    return results

@@ -21,7 +21,14 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..accel.simulator import SystolicArraySimulator
-from ..nas.encoding import DNN_TOKENS, CoDesignPoint, decode, encode
+from ..nas.encoding import (
+    DNN_TOKENS,
+    SEQUENCE_LENGTH,
+    CoDesignPoint,
+    decode,
+    encode,
+    encode_genotype,
+)
 from ..nas.genotype import Genotype
 from ..nas.hypernet import HyperNet
 from ..nas.network import CellNetwork
@@ -200,6 +207,16 @@ class BatchEvaluator:
 
     ``evaluate_tokens`` skips decoding cached candidates entirely, which is
     the entry point the token-space searches use.
+
+    Optionally a durable :class:`repro.store.ResultStore` sits *behind*
+    the LRU as a tier-2 cache (:meth:`attach_store`): misses consult the
+    store before computing, and fresh results are appended to it.  Store
+    hits return the repr-round-tripped floats bit-exactly (``==`` the
+    values originally computed); cold values computed alongside store
+    hits see only the already-documented batched-GP composition drift
+    (relative 1e-9).  With no store attached, behaviour — including the
+    ``hits``/``misses`` counters, which remain LRU-tier-only — is
+    byte-identical to a store-less evaluator.
     """
 
     def __init__(self, fast: FastEvaluator, cache_size: int = 16384) -> None:
@@ -212,6 +229,45 @@ class BatchEvaluator:
         self._feat_lru: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._store = None
+        self._store_namespace: str | None = None
+        #: Tier-2 counters: LRU misses that the durable store served
+        #: (``store_hits``) vs. had to be computed (``store_misses``).
+        #: Off-grid 3-tuple keys are not store-eligible and count toward
+        #: neither.
+        self.store_hits = 0
+        self.store_misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The attached :class:`repro.store.ResultStore`, or ``None``."""
+        return self._store
+
+    @property
+    def store_namespace(self) -> str | None:
+        """The namespace this evaluator reads/writes in the store."""
+        return self._store_namespace
+
+    def attach_store(self, store, namespace: str | None = None) -> None:
+        """Attach a durable tier-2 result store behind the LRU.
+
+        ``namespace`` defaults to ``"eval:" + fast_evaluator_fingerprint``
+        — a content hash of the HyperNet weights, GP fits, validation
+        subset and evaluation knobs — so persisted results are only ever
+        served back to a bit-identical producing context.
+        """
+        if namespace is None:
+            from ..store import fast_evaluator_fingerprint
+
+            namespace = "eval:" + fast_evaluator_fingerprint(self.fast)
+        self._store = store
+        self._store_namespace = namespace
+
+    def detach_store(self) -> None:
+        """Detach the store (the store itself is not closed)."""
+        self._store = None
+        self._store_namespace = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -300,6 +356,35 @@ class BatchEvaluator:
                 missing.append(key)
         if not missing:
             return results
+        store = self._store
+        if store is not None:
+            # Tier 2: the durable store.  Only canonical 44-token keys are
+            # store-eligible (off-grid 3-tuple keys are process-local
+            # objects).  A hit is the repr-round-tripped original floats,
+            # so it is bit-exact (``==``) with the cold computation.
+            still_missing: list[tuple] = []
+            for key in missing:
+                values = (
+                    store.get(self._store_namespace, key)
+                    if len(key) == SEQUENCE_LENGTH
+                    else None
+                )
+                if values is not None and len(values) == 3:
+                    self.store_hits += 1
+                    result = Evaluation(
+                        accuracy=values[0],
+                        latency_ms=values[1],
+                        energy_mj=values[2],
+                    )
+                    results[key] = result
+                    self._lru_put(self._lru, key, result, self.cache_size)
+                else:
+                    if len(key) == SEQUENCE_LENGTH:
+                        self.store_misses += 1
+                    still_missing.append(key)
+            missing = still_missing
+            if not missing:
+                return results
         fast = self.fast
         points = [
             by_key[key] if by_key is not None else decode(list(key))
@@ -322,6 +407,12 @@ class BatchEvaluator:
             )
             results[key] = result
             self._lru_put(self._lru, key, result, self.cache_size)
+            if store is not None and len(key) == SEQUENCE_LENGTH:
+                store.append(
+                    self._store_namespace,
+                    key,
+                    (result.accuracy, result.latency_ms, result.energy_mj),
+                )
         return results
 
     def _miss_inputs(
@@ -381,6 +472,12 @@ class BatchEvaluator:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def store_hit_rate(self) -> float:
+        """Fraction of store-eligible LRU misses the durable store served."""
+        total = self.store_hits + self.store_misses
+        return self.store_hits / total if total else 0.0
+
 
 class AccurateEvaluator:
     """Full training + accurate simulation (Step 3 rescoring).
@@ -412,6 +509,55 @@ class AccurateEvaluator:
         self.batch_size = batch_size
         self.seed = seed
         self.train_fast = train_fast
+        self._store = None
+        self._store_namespace: str | None = None
+        #: Durable-store counters over stand-alone trainings: persisted
+        #: accuracies reused vs. trainings actually run with a store
+        #: attached.
+        self.store_hits = 0
+        self.store_misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The attached :class:`repro.store.ResultStore`, or ``None``."""
+        return self._store
+
+    @property
+    def store_namespace(self) -> str | None:
+        """The namespace this evaluator reads/writes in the store."""
+        return self._store_namespace
+
+    def attach_store(self, store, namespace: str | None = None) -> None:
+        """Attach a durable store of stand-alone training accuracies.
+
+        Records are keyed by the 40 genotype tokens plus the training
+        seed; ``namespace`` defaults to ``"train:" +
+        accurate_evaluator_fingerprint`` (dataset arrays + recipe knobs,
+        seed excluded — it is part of each key), so persisted accuracies
+        are only reused under a bit-identical dataset and recipe.
+        """
+        if namespace is None:
+            from ..store import accurate_evaluator_fingerprint
+
+            namespace = "train:" + accurate_evaluator_fingerprint(self)
+        self._store = store
+        self._store_namespace = namespace
+
+    def detach_store(self) -> None:
+        """Detach the store (the store itself is not closed)."""
+        self._store = None
+        self._store_namespace = None
+
+    def __getstate__(self) -> dict:
+        """Pickle without the store: worker replicas (TrainingPool ships
+        one evaluator per worker) must not inherit the parent's file
+        handle or writer lock.  Hit/miss partitioning happens in the
+        parent before dispatch, so workers never need the store."""
+        state = self.__dict__.copy()
+        state["_store"] = None
+        state["_store_namespace"] = None
+        return state
 
     def train_accuracy(self, point: CoDesignPoint, seed: int | None = None) -> float:
         """Stand-alone training accuracy of one candidate (no simulation).
@@ -425,8 +571,25 @@ class AccurateEvaluator:
         every other call, which is what lets
         :meth:`train_accuracies` shard candidates across worker processes
         with bit-identical results.
+
+        With a durable store attached, a persisted accuracy for this
+        (genotype, seed) is returned bit-exactly instead of retraining,
+        and a fresh training result is appended for the next process.
         """
         seed = self.seed if seed is None else seed
+        store = self._store
+        store_key = None
+        if store is not None:
+            try:
+                store_key = (*encode_genotype(point.genotype), seed)
+            except ValueError:
+                store_key = None  # off-grid genotype: not store-eligible
+            if store_key is not None:
+                values = store.get(self._store_namespace, store_key)
+                if values is not None:
+                    self.store_hits += 1
+                    return values[0]
+                self.store_misses += 1
         rng = np.random.default_rng(seed)
         network = CellNetwork(
             point.genotype,
@@ -443,6 +606,8 @@ class AccurateEvaluator:
             batch_size=self.batch_size,
             seed=seed,
         )
+        if store is not None and store_key is not None:
+            store.append(self._store_namespace, store_key, (result.val_accuracy,))
         return result.val_accuracy
 
     def train_accuracies(

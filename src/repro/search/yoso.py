@@ -61,6 +61,12 @@ class YosoConfig:
     #: kernels (:func:`repro.nn.layers.train_fast`).  Off by default for
     #: paper fidelity; gradients match the standard kernels at rel 1e-6.
     train_fast: bool = False
+    #: Path of a durable :class:`repro.store.ResultStore` (``--store``).
+    #: ``None`` (the default) keeps the pipeline byte-identical to the
+    #: store-less behaviour; a path warm-starts Step 1's simulator samples
+    #: and the Step-2/Step-3 evaluations from persisted results, and
+    #: appends fresh ones for the next run.
+    store_path: str | None = None
     seed: int = 0
 
 
@@ -107,6 +113,20 @@ class YosoSearch:
         self.fast_evaluator: FastEvaluator | None = None
         self.batch_evaluator: BatchEvaluator | None = None
         self.search: ReinforceSearch | None = None
+        self.store = None
+
+    def _ensure_store(self):
+        """Open the configured durable store once (or return ``None``)."""
+        if self.store is None and self.config.store_path is not None:
+            from ..store import ResultStore
+
+            self.store = ResultStore(self.config.store_path, mode="a")
+        return self.store
+
+    def close_store(self) -> None:
+        """Flush and close the durable store, if one was opened."""
+        if self.store is not None:
+            self.store.close()
 
     # -- Step 1 ----------------------------------------------------------
     def build_fast_evaluator(self) -> FastEvaluator:
@@ -131,6 +151,7 @@ class YosoSearch:
             stem_channels=cfg.stem_channels,
             image_size=self.dataset.image_size,
             num_classes=cfg.num_classes,
+            store=self._ensure_store(),
         )
         self.fast_evaluator = FastEvaluator.from_samples(
             self.hypernet,
@@ -159,6 +180,8 @@ class YosoSearch:
         self.batch_evaluator = create_evaluator(
             self.fast_evaluator, workers=cfg.workers
         )
+        if self._ensure_store() is not None:
+            self.batch_evaluator.attach_store(self.store)
         self.search = ReinforceSearch(
             controller,
             self.batch_evaluator.evaluate,
@@ -198,6 +221,8 @@ class YosoSearch:
             seed=cfg.seed,
             train_fast=cfg.train_fast,
         )
+        if self._ensure_store() is not None:
+            accurate.attach_store(self.store)
         top = self.search.history.top(cfg.topn)
         points = [sample.point() for sample in top]
         batch = self.simulator.simulate_genotypes(
@@ -252,6 +277,8 @@ class YosoSearch:
         t0 = time.perf_counter()
         rescored = self.finalize()
         times["step3_rescoring"] = time.perf_counter() - t0
+        # Every result from this run is durable before we hand back.
+        self.close_store()
         return YosoResult(
             best=rescored[0],
             rescored=rescored,

@@ -126,6 +126,15 @@ class SearchService:
     batch).  ``max_inflight_points`` is the backpressure budget.  With
     ``owns_evaluator=True`` shutdown also closes the evaluator (worker
     pools); otherwise the caller keeps that lifecycle.
+
+    A durable tier-2 result store makes restarts warm (``yoso serve
+    --store PATH``): pass an open :class:`repro.store.ResultStore` as
+    ``store``, or a path as ``store_path`` and the service opens (and
+    owns) one itself.  Either way the store is attached behind the
+    evaluator's LRU if not already, flushed (``fsync``) as part of the
+    graceful drain, and closed on shutdown when owned — so every result
+    this server computed is on disk before the process exits, and the
+    next server on the same path serves them back bit-identically.
     """
 
     def __init__(
@@ -137,11 +146,27 @@ class SearchService:
         max_batch_points: int = 4096,
         max_inflight_points: int = 4096,
         owns_evaluator: bool = False,
+        store=None,
+        store_path: str | None = None,
+        owns_store: bool = False,
     ) -> None:
         self.evaluator = evaluator
         self.host = host
         self.port = port  # 0 = ephemeral; bound port published by start()
         self.owns_evaluator = owns_evaluator
+        if store is None and store_path is not None:
+            from ..store import ResultStore
+
+            store = ResultStore(store_path, mode="a")
+            owns_store = True
+        self.store = store
+        self.owns_store = owns_store
+        if (
+            store is not None
+            and hasattr(evaluator, "attach_store")
+            and getattr(evaluator, "store", None) is None
+        ):
+            evaluator.attach_store(store)
         self.scheduler = MicroBatchScheduler(
             evaluator, tick_s=tick_s, max_batch_points=max_batch_points
         )
@@ -235,6 +260,13 @@ class SearchService:
         if self.owns_evaluator and hasattr(self.evaluator, "close"):
             await asyncio.get_running_loop().run_in_executor(
                 None, self.evaluator.close
+            )
+        # Flush the durable store as part of the drain: everything this
+        # server computed is on disk before the process can exit.
+        if self.store is not None and not self.store.closed:
+            await asyncio.get_running_loop().run_in_executor(
+                None,
+                self.store.close if self.owns_store else self.store.sync,
             )
         # 4. Tear down idle connection readers (their requests are done).
         for task in list(self._conn_tasks):
@@ -402,12 +434,17 @@ class SearchService:
             },
             "evaluator": self._evaluator_stats(),
         }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
         return stats
 
     def _evaluator_stats(self) -> dict:
         ev = self.evaluator
         stats: dict = {"type": type(ev).__name__}
-        for attr in ("hits", "misses", "hit_rate", "cache_size", "workers"):
+        attrs = ("hits", "misses", "hit_rate", "cache_size", "workers")
+        if getattr(ev, "store", None) is not None:
+            attrs += ("store_hits", "store_misses", "store_hit_rate")
+        for attr in attrs:
             value = getattr(ev, attr, None)
             if value is not None:
                 stats[attr] = value

@@ -1,0 +1,50 @@
+"""repro.store — the durable, encoding-keyed tier-2 result cache.
+
+Every in-memory cache in the stack (the evaluator LRUs, the service's
+persistent evaluator, each training shard) dies with its process; this
+package is the tier below them that does not.  :class:`ResultStore` is an
+append-only, checksummed record log with an in-memory index and enforced
+single-writer locking; :mod:`repro.store.fingerprint` scopes its
+namespaces to the producing context so one file can safely hold results
+from many scales, seeds and recipes at once.
+
+Consumers (see docs/PERFORMANCE.md, "Durable result store"):
+
+* :class:`repro.search.evaluator.BatchEvaluator` (and its parallel
+  subclass) consult store -> LRU -> compute and append fresh
+  evaluations, keyed by the canonical 44-token encoding;
+* :func:`repro.parallel.training.train_accuracies` reuses persisted
+  stand-alone training accuracies (genotype tokens + seed);
+* :func:`repro.predict.dataset.collect_samples` reuses persisted
+  simulator ground truth, so the GP predictors warm-start and a fresh
+  search opens with a trained surrogate;
+* :class:`repro.service.server.SearchService` opens one store per
+  server (``yoso serve --store``) and flushes it on drain, so restarts
+  are warm.
+"""
+
+from .fingerprint import (
+    accurate_evaluator_fingerprint,
+    digest,
+    fast_evaluator_fingerprint,
+    samples_fingerprint,
+)
+from .result_store import (
+    MAGIC,
+    MAX_RECORD_BYTES,
+    ResultStore,
+    StoreError,
+    StoreLockedError,
+)
+
+__all__ = [
+    "MAGIC",
+    "MAX_RECORD_BYTES",
+    "ResultStore",
+    "StoreError",
+    "StoreLockedError",
+    "digest",
+    "fast_evaluator_fingerprint",
+    "accurate_evaluator_fingerprint",
+    "samples_fingerprint",
+]

@@ -195,11 +195,54 @@ class TestDispatchTuner:
         cheap.observe_pool(4, 1.0)  # huge overhead
         assert cheap.threshold == 16
 
-    def test_pool_sample_ignored_without_local_estimate(self):
+    def test_single_size_pool_observations_cannot_calibrate(self):
+        # Pool-only sessions collect (busiest, seconds) observations, but
+        # one shard size leaves overhead vs per-item cost unidentifiable.
         tuner = DispatchTuner(workers=2)
-        tuner.observe_pool(8, 1.0)
-        assert tuner.pool_samples == 0
-        assert tuner.threshold == 2
+        for _ in range(5):
+            tuner.observe_pool(8, 1.0)
+        assert tuner.pool_samples == 5
+        assert tuner.fit_item_s is None and tuner.fit_overhead_s is None
+        assert tuner.threshold == 2, "stays at the configured initial"
+
+    def test_pool_only_least_squares_recovers_both_costs(self):
+        # seconds = 0.09 + busiest * 0.008, exactly linear -> exact fit.
+        tuner = DispatchTuner(workers=2)
+        for items in (4, 8, 16, 32):  # busiest shards 2, 4, 8, 16
+            busiest = -(-items // 2)
+            tuner.observe_pool(items, 0.09 + busiest * 0.008)
+        assert tuner.fit_overhead_s == pytest.approx(0.09)
+        assert tuner.fit_item_s == pytest.approx(0.008)
+        # Same break-even formula as the direct estimates:
+        # n* = 0.09 * 2 / (0.008 * 1) = 22.5 -> next whole batch size.
+        assert tuner.threshold == 23
+
+    def test_pool_only_fit_clamps_negative_solutions(self):
+        # A decreasing seconds-vs-size relation (noise, cache warming)
+        # must not yield a negative per-item cost.
+        tuner = DispatchTuner(workers=2, ceiling=64)
+        tuner.observe_pool(4, 1.0)
+        tuner.observe_pool(32, 0.1)
+        assert tuner.fit_item_s == 0.0
+        assert tuner.threshold == 64, "zero item cost -> pool never pays off"
+
+    def test_direct_estimates_take_precedence_over_the_fit(self):
+        tuner = DispatchTuner(workers=2, ema=1.0)
+        for items in (4, 16):
+            busiest = -(-items // 2)
+            tuner.observe_pool(items, 0.9 + busiest * 0.08)  # fitted: slow
+        fitted = tuner.threshold
+        assert fitted == 23  # n* = 0.9 * 2 / (0.08 * 1) = 22.5
+        tuner.observe_local(10, 0.1)  # direct: 10x cheaper items
+        tuner.observe_pool(16, 0.12)  # direct overhead 40 ms
+        assert tuner.threshold == 8, "directly measured costs win"
+
+    def test_pool_only_observation_window_is_bounded(self):
+        tuner = DispatchTuner(workers=2)
+        for i in range(100):
+            tuner.observe_pool(2 + (i % 3), 0.01)
+        assert len(tuner._pool_obs) == 64
+        assert tuner.pool_samples == 100
 
     def test_ema_blends(self):
         tuner = DispatchTuner(workers=2, ema=0.5)
