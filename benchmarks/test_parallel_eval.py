@@ -33,19 +33,13 @@ import numpy as np
 from repro.accel.config import random_config
 from repro.nas.encoding import CoDesignPoint
 from repro.nas.space import DnnSpace
+from repro.obs import cpu_budget, host_info
 from repro.parallel import MicroBatchScheduler, ParallelEvaluator, create_evaluator
 
 POPULATION = 256
 WORKER_COUNTS = (1, 2, 4)
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RECORD_PATH = os.path.join(ROOT, "BENCH_parallel.json")
-
-
-def _cpu_budget() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _cold_population(n: int) -> list[CoDesignPoint]:
@@ -121,18 +115,18 @@ def test_bench_parallel_sharded_speedup(demo_context):
     for run in runs:
         run["speedup_vs_single_process"] = round(serial_s / run["evaluate_s"], 3)
 
-    cpus = _cpu_budget()
+    cpus = cpu_budget()
     record = {
         "benchmark": "parallel_sharded_evaluator",
         "scale": "demo",
         "population": POPULATION,
         "unique_genotypes": POPULATION,
-        "cpu_count": cpus,
-        # An explicit flag so nobody reads a sub-1x ratio measured on a
-        # core-starved host as a regression: CPU-bound sharding CANNOT
-        # beat in-process without cores, and this record says so instead
-        # of leaving the reader to cross-check cpu_count by hand.
-        "degraded_host": cpus < max(WORKER_COUNTS),
+        # degraded_host is an explicit flag so nobody reads a sub-1x ratio
+        # measured on a core-starved host as a regression: CPU-bound
+        # sharding CANNOT beat in-process without cores, and this record
+        # says so instead of leaving the reader to cross-check cpu_count
+        # by hand.
+        **host_info(max(WORKER_COUNTS)),
         "payload_bytes_per_worker": payload_bytes,
         "runs": runs,
         "notes": (

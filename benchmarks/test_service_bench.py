@@ -32,6 +32,7 @@ import numpy as np
 from repro.accel.config import random_config
 from repro.nas.encoding import CoDesignPoint
 from repro.nas.space import DnnSpace
+from repro.obs import host_info
 from repro.search.evaluator import BatchEvaluator
 from repro.service import ServiceClient, start_service
 
@@ -41,13 +42,6 @@ POINTS_PER_REQUEST = 3
 CLIENT_COUNTS = (1, 4, 8)
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RECORD_PATH = os.path.join(ROOT, "BENCH_service.json")
-
-
-def _cpu_budget() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _population(n: int) -> list[CoDesignPoint]:
@@ -125,7 +119,6 @@ def test_bench_service_throughput(demo_context):
                 f"{requests / ticks if ticks else float('nan'):.2f} req/tick"
             )
 
-    cpus = _cpu_budget()
     record = {
         "benchmark": "search_service",
         "scale": "demo",
@@ -133,11 +126,11 @@ def test_bench_service_throughput(demo_context):
         "requests_per_client": REQUESTS_PER_CLIENT,
         "points_per_request": POINTS_PER_REQUEST,
         "tick_s": 0.002,
-        "cpu_count": cpus,
         # Single-core hosts timeshare the asyncio loop, the scheduler
         # thread and every client thread; absolute req/s there is a host
-        # property, not a service property — the flag says so explicitly.
-        "degraded_host": cpus < max(CLIENT_COUNTS),
+        # property, not a service property — degraded_host says so
+        # explicitly.
+        **host_info(max(CLIENT_COUNTS)),
         "runs": runs,
         "notes": (
             "Warm-cache traffic, so requests/s measures the service stack "

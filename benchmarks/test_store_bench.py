@@ -34,6 +34,7 @@ import time
 import numpy as np
 
 from repro.nas.encoding import random_sequence
+from repro.obs import host_info
 from repro.search.evaluator import BatchEvaluator
 from repro.store import ResultStore
 
@@ -41,13 +42,6 @@ POPULATION = 256
 APPEND_RECORDS = 20000
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RECORD_PATH = os.path.join(ROOT, "BENCH_store.json")
-
-
-def _cpu_budget() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def test_bench_store_warm_start(demo_context):
@@ -93,7 +87,6 @@ def test_bench_store_warm_start(demo_context):
     assert hit_rate >= 0.9, f"tier-2 hit rate {hit_rate:.2f} below the bar"
     assert warm_eval.store_misses == 0
 
-    cpus = _cpu_budget()
     record = {
         "benchmark": "result_store",
         "scale": "demo",
@@ -109,10 +102,9 @@ def test_bench_store_warm_start(demo_context):
         "records_loaded": loaded,
         "store_hit_rate": round(hit_rate, 4),
         "bit_identical": True,
-        "cpu_count": cpus,
         # Wall-clock on an oversubscribed runner measures the host, not
-        # the store; the flag says so explicitly.
-        "degraded_host": cpus < 2,
+        # the store; degraded_host says so explicitly.
+        **host_info(2),
         "notes": (
             "Cold pass computes the population and appends every result; "
             "warm pass is a fresh BatchEvaluator on the reopened store, so "

@@ -35,6 +35,7 @@ from repro.nas.network import CellNetwork
 from repro.nas.space import DnnSpace
 from repro.nas.train import train_network
 from repro.nn.data import SyntheticCifar
+from repro.obs import cpu_budget, host_info
 from repro.parallel import TrainingJob, TrainingPool, replication_payload
 from repro.search.evaluator import AccurateEvaluator
 
@@ -48,17 +49,10 @@ SHARD_WORKERS = (1, 2, 3)
 SHARD_CANDIDATES = 4
 
 
-def _cpu_budget() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
 def test_bench_training_fast_kernels_and_shards(demo_context):
     record: dict = {
         "benchmark": "training_path",
-        "cpu_count": _cpu_budget(),
+        "cpu_count": cpu_budget(),
     }
 
     # -- kernel speedup (demo scale, single process) --------------------
@@ -138,7 +132,6 @@ def test_bench_training_fast_kernels_and_shards(demo_context):
         CoDesignPoint(genotype=space.sample(rng), config=random_config(rng))
         for _ in range(SHARD_CANDIDATES)
     ]
-    cpus = _cpu_budget()
     shard_runs = []
     reference = None
     payload = None
@@ -188,7 +181,7 @@ def test_bench_training_fast_kernels_and_shards(demo_context):
         "fast_evaluator_payload_bytes": len(
             replication_payload(demo_context.fast_evaluator)
         ),
-        "degraded_host": cpus < max(SHARD_WORKERS),
+        "degraded_host": host_info(max(SHARD_WORKERS))["degraded_host"],
         "runs": shard_runs,
         "notes": (
             "stand-alone trainings are CPU-bound numpy, so on hosts with "

@@ -9,6 +9,7 @@ Usage (installed as ``python -m repro.cli`` or the ``yoso`` console script):
     yoso table2   [--scale demo] [--iterations N] # two-stage comparison
     yoso space                                     # search-space statistics
     yoso serve    [--scale demo] [--port 7777]    # search-evaluation service
+    yoso stats    HOST:PORT [--json]              # live service telemetry
 """
 
 from __future__ import annotations
@@ -132,6 +133,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.experiments.common import get_context
     from repro.service import SearchService
 
+    if args.trace_out:
+        from repro.obs import configure_tracing
+
+        configure_tracing(enabled=True, sink_path=args.trace_out)
     context = get_context(args.scale, args.seed, workers=args.workers,
                           store_path=args.store)
     service = SearchService(
@@ -148,6 +153,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # The context owns the evaluator (and its worker pool); the atexit
     # cleanup in repro.experiments.common closes it after the drain.
     service.run()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_stats
+    from repro.service.client import ServiceClient
+
+    with ServiceClient.connect(args.endpoint, timeout=args.timeout) as client:
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(render_stats(stats))
     return 0
 
 
@@ -215,7 +235,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-inflight", type=int, default=4096,
                    help="backpressure budget: points admitted concurrently "
                         "before further requests queue")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="enable span tracing and append one JSON line per "
+                        "span to PATH (default: tracing off — zero-cost; "
+                        "see docs/OBSERVABILITY.md)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="fetch and render a running service's telemetry "
+             "(stats verb v2: counters, queue depths, latency histograms)")
+    p.add_argument("endpoint", metavar="HOST:PORT",
+                   help="service endpoint, e.g. 127.0.0.1:7777")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw stats JSON instead of the rendering")
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("space", help="search-space statistics")
     p.set_defaults(func=cmd_space)

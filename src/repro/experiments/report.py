@@ -271,6 +271,25 @@ def _generate(
                       f"replication payload "
                       f"{pool.payload_bytes / 1e6:.1f} MB/worker; "
                       f"{threshold_desc} applied."]
+
+    # Machine-readable metrics (repro.obs registry snapshot — the
+    # service's own registry in endpoint mode, this process's otherwise).
+    # Inside a json fence so downstream tooling can parse the block
+    # straight out of the report.
+    import json as _json
+
+    from ..obs import get_registry
+    if remote is not None:
+        metrics = remote.metrics()
+    else:
+        metrics = get_registry().snapshot()
+    parts += ["", "## Metrics", "",
+              "Registry snapshot (see docs/OBSERVABILITY.md for the "
+              "schema" + (", sampled from the remote service" if remote
+                          is not None else "") + "):",
+              "", "```json",
+              _json.dumps(metrics, indent=2, sort_keys=True),
+              "```"]
     return "\n".join(parts) + "\n"
 
 
@@ -291,9 +310,16 @@ def main(argv: list[str] | None = None) -> int:
                              "persisted results are replayed bit-identically "
                              "and the efficiency section reports the tier-2 "
                              "hit accounting")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="enable span tracing and append one JSON line "
+                             "per span to PATH (default: tracing off)")
     parser.add_argument("--output", default=None,
                         help="write the report here instead of stdout")
     args = parser.parse_args(argv)
+    if args.trace_out:
+        from ..obs import configure_tracing
+
+        configure_tracing(enabled=True, sink_path=args.trace_out)
     report = generate_report(args.scale, args.seed, iterations=args.iterations,
                              workers=args.workers, endpoint=args.endpoint,
                              store_path=args.store)

@@ -1,0 +1,104 @@
+"""Text rendering of stats/metrics snapshots for the ``yoso stats`` CLI.
+
+Pure formatting — takes the pure-data dicts the service ``stats`` verb
+returns (see :meth:`repro.service.server.SearchService.stats`) and
+renders an aligned, human-scannable report.  Histograms show count /
+mean / p50 / p99 (quantiles are bucket-boundary upper bounds from
+:func:`repro.obs.registry.histogram_quantile`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .registry import histogram_quantile
+
+__all__ = ["render_metrics", "render_stats", "format_seconds"]
+
+
+def format_seconds(value: float | None) -> str:
+    """A latency with a readable unit (``17.3us`` / ``4.2ms`` / ``1.31s``)."""
+    if value is None:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _render_section(title: str, rows: list[tuple[str, str]], out: list[str]) -> None:
+    if not rows:
+        return
+    out.append(title)
+    width = max(len(key) for key, _ in rows)
+    for key, value in rows:
+        out.append(f"  {key.ljust(width)}  {value}")
+
+
+def render_metrics(snapshot: Mapping) -> str:
+    """Render a registry snapshot (counters / gauges / histograms)."""
+    out: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    _render_section(
+        "counters", [(k, str(v)) for k, v in sorted(counters.items())], out
+    )
+    if out and gauges:
+        out.append("")
+    _render_section(
+        "gauges", [(k, f"{v:g}") for k, v in sorted(gauges.items())], out
+    )
+    rows: list[tuple[str, str]] = []
+    for name, hist in sorted(histograms.items()):
+        count = hist.get("count", 0)
+        if not count:
+            rows.append((name, "count=0"))
+            continue
+        mean = hist.get("sum", 0.0) / count
+        p50 = histogram_quantile(hist, 0.50)
+        p99 = histogram_quantile(hist, 0.99)
+        if name.endswith("_s") or "_s." in name:
+            stat = (
+                f"count={count} mean={format_seconds(mean)} "
+                f"p50<={format_seconds(p50)} p99<={format_seconds(p99)}"
+            )
+        else:
+            stat = f"count={count} mean={mean:.1f} p50<={p50:g} p99<={p99:g}"
+        rows.append((name, stat))
+    if out and rows:
+        out.append("")
+    _render_section("histograms", rows, out)
+    return "\n".join(out) if out else "(no metrics recorded)"
+
+
+def render_stats(stats: Mapping) -> str:
+    """Render a full service ``stats`` snapshot: the classic per-subsystem
+    counter sections first, then the registry metrics block."""
+    out: list[str] = []
+    for section in ("service", "scheduler", "evaluator", "store"):
+        data = stats.get(section)
+        if not isinstance(data, Mapping):
+            continue
+        rows = []
+        for key, value in sorted(data.items()):
+            if isinstance(value, Mapping):
+                inner = " ".join(
+                    f"{k}={v}" for k, v in sorted(value.items())
+                )
+                rows.append((key, inner))
+            elif isinstance(value, float):
+                rows.append((key, f"{value:g}"))
+            else:
+                rows.append((key, str(value)))
+        _render_section(section, rows, out)
+        out.append("")
+    metrics = stats.get("metrics")
+    if isinstance(metrics, Mapping):
+        out.append("metrics")
+        block = render_metrics(metrics)
+        out.extend("  " + line if line else "" for line in block.split("\n"))
+    while out and not out[-1]:
+        out.pop()
+    return "\n".join(out)

@@ -266,6 +266,13 @@ class ParallelEvaluator(BatchEvaluator):
         return self._pool.restarts if self._pool is not None else 0
 
     @property
+    def pool_resubmitted_shards(self) -> int:
+        """Shards re-run on a respawned pool after worker crashes."""
+        return (
+            self._pool.resubmitted_shards if self._pool is not None else 0
+        )
+
+    @property
     def tuner(self) -> DispatchTuner | None:
         """The adaptive dispatch tuner (``None`` with a fixed min_dispatch)."""
         return self._tuner

@@ -36,7 +36,9 @@ under threads (the micro-batch scheduler) and on every platform.
 
 from __future__ import annotations
 
+import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -46,6 +48,8 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..nn.module import Module
+from ..obs.registry import get_registry
+from ..obs.tracing import NULL_SPAN, current_context, get_tracer, new_span_id
 from ..predict.features import genotype_features
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -61,6 +65,14 @@ __all__ = [
     "replication_payload",
     "worker_state",
 ]
+
+# Module-level registry handles (NEVER instance attributes: the pool's
+# payload objects get pickled to workers, and metric objects hold locks).
+_REGISTRY = get_registry()
+_M_BATCHES = _REGISTRY.counter("pool.batches")
+_M_ITEMS = _REGISTRY.counter("pool.items")
+_M_RESTARTS = _REGISTRY.counter("pool.restarts")
+_M_RESUBMITTED = _REGISTRY.counter("pool.resubmitted_shards")
 
 #: Transient per-forward attributes cleared from the shipped replica.
 _RUNTIME_ATTRS = (
@@ -198,6 +210,30 @@ def _run_shard(items: list[WorkItem]) -> ShardResult:
     return compute_work_items(worker_state(), items)
 
 
+def _run_traced(fn, shard: list, trace_id: str, parent_id: str | None):
+    """Run a shard task with a worker-side span; returns ``(result, spans)``.
+
+    Worker processes hold a fresh (disabled) global tracer, so the span
+    is built as a plain dict and shipped back with the result — the
+    parent merges it into its own tracer on harvest (the "ids ship with
+    tasks, spans merge parent-side" model).  Only used when the parent's
+    tracer is enabled, so the untraced dispatch path is unchanged bytes.
+    """
+    start_s = time.time()
+    t0 = time.perf_counter()
+    result = fn(shard)
+    span = {
+        "name": "pool.shard",
+        "trace": trace_id,
+        "span": new_span_id(),
+        "parent": parent_id,
+        "start_s": start_s,
+        "duration_s": time.perf_counter() - t0,
+        "attrs": {"items": len(shard), "pid": os.getpid()},
+    }
+    return result, [span]
+
+
 # ---------------------------------------------------------------------------
 # Parent side
 # ---------------------------------------------------------------------------
@@ -233,6 +269,10 @@ class WorkerPool:
         self.restarts = 0
         self.batches = 0
         self.items = 0
+        #: Shards resubmitted to a respawned pool after a worker crash
+        #: (shards whose result survived the crash are not re-run, so
+        #: this counts genuinely repeated work).
+        self.resubmitted_shards = 0
 
     @property
     def payload_bytes(self) -> int:
@@ -278,59 +318,107 @@ class WorkerPool:
         pending_marker = object()
         results: list = [pending_marker] * len(shard_lists)
         attempts = 0
-        while True:
-            pending = [i for i, r in enumerate(results) if r is pending_marker]
-            if not pending:
-                break
-            executor = self._ensure_executor()
-            crashed = False
-            try:
-                # submit() itself raises when the pool noticed a death
-                # between batches, so it sits inside the retry scope too.
-                futures = [
-                    (i, executor.submit(fn, shard_lists[i])) for i in pending
+        tracer = get_tracer()
+        # Traced dispatch: ship the ids with each task and harvest the
+        # worker-built spans with the results.  The ambient context is
+        # read once here (run_tasks is called under the evaluator's span
+        # in the same thread); untraced dispatch submits fn directly —
+        # the default path is byte-for-byte the pre-instrumentation one.
+        traced = tracer.enabled and current_context() is not None
+        if traced:
+            dispatch_span = tracer.span(
+                "pool.dispatch", shards=len(shard_lists), workers=self.workers
+            )
+        else:
+            dispatch_span = NULL_SPAN
+        with dispatch_span:
+            while True:
+                pending = [
+                    i for i, r in enumerate(results) if r is pending_marker
                 ]
-            except BrokenProcessPool:
-                futures = []
-                crashed = True
-            # Harvest every future individually: results that completed
-            # before (or despite) a crash are kept, so the retry only
-            # resubmits shards that genuinely never finished.  A genuine
-            # task error (the fn raised in a healthy worker) must not
-            # short-circuit the harvest either — propagating it with
-            # later shards' futures still running would leave the
-            # executor busy with abandoned work and the pool in an
-            # undefined state for the next batch.
-            task_error: Exception | None = None
-            for i, future in futures:
+                if not pending:
+                    break
+                executor = self._ensure_executor()
+                crashed = False
                 try:
-                    results[i] = future.result()
+                    # submit() itself raises when the pool noticed a death
+                    # between batches, so it sits inside the retry scope too.
+                    if traced:
+                        futures = [
+                            (
+                                i,
+                                executor.submit(
+                                    _run_traced,
+                                    fn,
+                                    shard_lists[i],
+                                    dispatch_span.trace_id,
+                                    dispatch_span.span_id,
+                                ),
+                            )
+                            for i in pending
+                        ]
+                    else:
+                        futures = [
+                            (i, executor.submit(fn, shard_lists[i]))
+                            for i in pending
+                        ]
                 except BrokenProcessPool:
+                    futures = []
                     crashed = True
-                except Exception as exc:
-                    # Genuine task errors only — a KeyboardInterrupt /
-                    # SystemExit delivered mid-harvest must abort NOW,
-                    # not after blocking on every remaining shard.
-                    if task_error is None:
-                        task_error = exc
-            if task_error is not None:
-                # Every future has been waited on, so no shard is still
-                # in flight and the pool is immediately reusable.  (If a
-                # crash happened too, the broken executor is torn down so
-                # the next dispatch respawns cleanly.)
+                # Harvest every future individually: results that completed
+                # before (or despite) a crash are kept, so the retry only
+                # resubmits shards that genuinely never finished.  A genuine
+                # task error (the fn raised in a healthy worker) must not
+                # short-circuit the harvest either — propagating it with
+                # later shards' futures still running would leave the
+                # executor busy with abandoned work and the pool in an
+                # undefined state for the next batch.
+                task_error: Exception | None = None
+                for i, future in futures:
+                    try:
+                        results[i] = future.result()
+                    except BrokenProcessPool:
+                        crashed = True
+                    except Exception as exc:
+                        # Genuine task errors only — a KeyboardInterrupt /
+                        # SystemExit delivered mid-harvest must abort NOW,
+                        # not after blocking on every remaining shard.
+                        if task_error is None:
+                            task_error = exc
+                if task_error is not None:
+                    # Every future has been waited on, so no shard is still
+                    # in flight and the pool is immediately reusable.  (If a
+                    # crash happened too, the broken executor is torn down so
+                    # the next dispatch respawns cleanly.)
+                    if crashed:
+                        self._teardown()
+                    raise task_error
                 if crashed:
                     self._teardown()
-                raise task_error
-            if crashed:
-                self._teardown()
-                attempts += 1
-                self.restarts += 1
-                if attempts > self.max_restarts:
-                    raise BrokenProcessPool(
-                        f"worker pool crashed {attempts} times; giving up"
+                    attempts += 1
+                    self.restarts += 1
+                    _M_RESTARTS.inc()
+                    if attempts > self.max_restarts:
+                        raise BrokenProcessPool(
+                            f"worker pool crashed {attempts} times; giving up"
+                        )
+                    resubmitted = sum(
+                        1 for r in results if r is pending_marker
                     )
+                    self.resubmitted_shards += resubmitted
+                    _M_RESUBMITTED.inc(resubmitted)
+        if traced:
+            # Unwrap the (result, spans) pairs and merge the worker-side
+            # spans into the parent's tracer.
+            harvested: list[dict] = []
+            for i, pair in enumerate(results):
+                results[i], shard_spans = pair
+                harvested.extend(shard_spans)
+            tracer.ingest(harvested)
         self.batches += 1
         self.items += sum(len(shard) for shard in shard_lists)
+        _M_BATCHES.inc()
+        _M_ITEMS.inc(sum(len(shard) for shard in shard_lists))
         return results
 
     # ------------------------------------------------------------------

@@ -37,19 +37,40 @@ from collections import deque
 from concurrent.futures import Future
 from typing import TYPE_CHECKING, Sequence
 
+from ..obs.registry import COUNT_BUCKETS, get_registry
+from ..obs.tracing import NULL_SPAN, current_context, get_tracer
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..nas.encoding import CoDesignPoint
     from ..search.evaluator import Evaluation
 
 __all__ = ["MicroBatchScheduler"]
 
+# Module-level registry handles: fetched once so the warm path pays no
+# name lookups (and nothing here hangs instance state on picklable
+# objects — the scheduler itself is never pickled, but the handles keep
+# the pattern uniform across the instrumented modules).
+_REGISTRY = get_registry()
+_M_TICKS = _REGISTRY.counter("scheduler.ticks")
+_M_REQUESTS = _REGISTRY.counter("scheduler.requests")
+_M_POINTS_IN = _REGISTRY.counter("scheduler.points_in")
+_M_ERRORS = _REGISTRY.counter("scheduler.errors")
+_M_QUEUE_WAIT_S = _REGISTRY.histogram("scheduler.queue_wait_s")
+_M_BATCH_POINTS = _REGISTRY.histogram("scheduler.batch_points", COUNT_BUCKETS)
+
 
 class _Request:
-    __slots__ = ("points", "future")
+    __slots__ = ("points", "future", "trace", "enqueued")
 
-    def __init__(self, points: list) -> None:
+    def __init__(
+        self, points: list, trace: tuple[str, str | None] | None
+    ) -> None:
         self.points = points
         self.future: Future = Future()
+        #: (trace_id, parent_span_id) of the submitting span, if traced.
+        self.trace = trace
+        #: perf_counter at enqueue — the queue-wait measurement anchor.
+        self.enqueued = time.perf_counter()
 
 
 class MicroBatchScheduler:
@@ -101,10 +122,21 @@ class MicroBatchScheduler:
             self.start()
 
     # -- client API ------------------------------------------------------
-    def submit(self, points: Sequence["CoDesignPoint"]) -> Future:
+    def submit(
+        self,
+        points: Sequence["CoDesignPoint"],
+        trace: tuple[str, str | None] | None = None,
+    ) -> Future:
         """Enqueue a request; the future resolves to one Evaluation per
-        point, in input order.  Thread-safe."""
-        request = _Request(list(points))
+        point, in input order.  Thread-safe.
+
+        ``trace`` is an optional ``(trace_id, parent_span_id)`` pair from
+        the submitting request (the service passes the wire trace here);
+        the batch that serves this request links its spans under it.
+        Cross-thread handoff has to be explicit — the scheduler thread
+        that runs the batch cannot see the submitter's contextvars.
+        """
+        request = _Request(list(points), trace)
         with self._cond:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
@@ -112,13 +144,17 @@ class MicroBatchScheduler:
             self.requests += 1
             self.points_in += len(request.points)
             self._cond.notify_all()
+        _M_REQUESTS.inc()
+        _M_POINTS_IN.inc(len(request.points))
         return request.future
 
     def evaluate_many(
         self, points: Sequence["CoDesignPoint"]
     ) -> list["Evaluation"]:
         """Blocking drop-in for ``BatchEvaluator.evaluate_many``."""
-        future = self.submit(points)
+        # Hand the caller's ambient span (if any) across the thread gap.
+        trace = current_context() if get_tracer().enabled else None
+        future = self.submit(points, trace=trace)
         with self._cond:
             synchronous = self._thread is None
         if synchronous:
@@ -129,6 +165,19 @@ class MicroBatchScheduler:
     def evaluate(self, point: "CoDesignPoint") -> "Evaluation":
         """Blocking drop-in for ``BatchEvaluator.evaluate``."""
         return self.evaluate_many([point])[0]
+
+    # -- live queue state -------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the coalescing window."""
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def queued_points(self) -> int:
+        """Points currently waiting in the coalescing window."""
+        with self._cond:
+            return sum(len(r.points) for r in self._pending)
 
     # -- batching core ---------------------------------------------------
     def _take_batch(self) -> list[_Request]:
@@ -150,12 +199,49 @@ class MicroBatchScheduler:
                     continue  # cancelled while queued; nothing to evaluate
                 batch.append(request)
                 points += len(request.points)
-            return batch
+        taken = time.perf_counter()
+        tracer = get_tracer()
+        for request in batch:
+            wait_s = taken - request.enqueued
+            _M_QUEUE_WAIT_S.observe(wait_s)
+            if request.trace is not None:
+                # The wait already happened; emit it as a pre-measured
+                # span anchored at the enqueue wall-time.
+                tracer.record(
+                    "scheduler.queue_wait",
+                    request.trace[0],
+                    request.trace[1],
+                    time.time() - wait_s,
+                    wait_s,
+                    points=len(request.points),
+                )
+        return batch
 
     def _run_batch(self, batch: list[_Request]) -> None:
         points = [p for request in batch for p in request.points]
+        tracer = get_tracer()
+        # The batch span parents under the first traced request (one
+        # coalesced batch can serve many traces; the span's request count
+        # says so) or, in synchronous mode, the flushing caller's span.
+        ctx = next((r.trace for r in batch if r.trace is not None), None)
+        if ctx is not None:
+            span = tracer.span(
+                "scheduler.batch",
+                trace_id=ctx[0],
+                parent_id=ctx[1],
+                requests=len(batch),
+                points=len(points),
+            )
+        elif current_context() is not None:
+            span = tracer.span(
+                "scheduler.batch", requests=len(batch), points=len(points)
+            )
+        else:
+            span = NULL_SPAN
+        _M_BATCH_POINTS.observe(len(points))
         try:
-            results = self.evaluator.evaluate_many(points)
+            with span:
+                results = self.evaluator.evaluate_many(points)
         except BaseException as exc:  # propagate to every coalesced caller
             # A failed batch is still a tick the evaluator ran — the stats
             # must not under-report traffic (or hide errors) under faults.
@@ -163,12 +249,15 @@ class MicroBatchScheduler:
                 self.ticks += 1
                 self.errors += 1
                 self.largest_batch = max(self.largest_batch, len(points))
+            _M_TICKS.inc()
+            _M_ERRORS.inc()
             for request in batch:
                 request.future.set_exception(exc)
             return
         with self._cond:
             self.ticks += 1
             self.largest_batch = max(self.largest_batch, len(points))
+        _M_TICKS.inc()
         offset = 0
         for request in batch:
             request.future.set_result(results[offset : offset + len(request.points)])

@@ -14,6 +14,7 @@ measurement and feature prefix, and a shared encoding-keyed LRU cache.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -34,11 +35,28 @@ from ..nas.hypernet import HyperNet
 from ..nas.network import CellNetwork
 from ..nas.train import train_network
 from ..nn.data import SyntheticCifar
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 from ..predict.dataset import PerfDataset
 from ..predict.features import config_features, feature_vector, genotype_features
 from ..predict.gp import GaussianProcessRegressor
 
 __all__ = ["Evaluation", "FastEvaluator", "BatchEvaluator", "AccurateEvaluator"]
+
+# Module-level registry handles — deliberately NOT instance attributes:
+# AccurateEvaluator and FastEvaluator instances are pickled to worker
+# processes, and metric objects hold locks.  Worker processes get their
+# own zeroed registry; its counts are local to the worker and dropped by
+# design (the parent's registry tells the parent-side story).
+_REGISTRY = get_registry()
+_M_EVAL_CALLS = _REGISTRY.counter("evaluator.calls")
+_M_EVAL_LOOKUPS = _REGISTRY.counter("evaluator.lookups")
+_M_EVAL_HITS = _REGISTRY.counter("evaluator.hits")
+_M_EVAL_MISSES = _REGISTRY.counter("evaluator.misses")
+_M_EVAL_STORE_HITS = _REGISTRY.counter("evaluator.store_hits")
+_M_EVAL_CALL_S = _REGISTRY.histogram("evaluator.call_s")
+_M_TRAIN_RUNS = _REGISTRY.counter("training.runs")
+_M_TRAIN_RUN_S = _REGISTRY.histogram("training.run_s")
 
 
 @dataclass(frozen=True)
@@ -333,6 +351,33 @@ class BatchEvaluator:
         keys: Sequence[tuple],
         by_key: dict[tuple, CoDesignPoint] | None,
     ) -> dict[tuple, Evaluation]:
+        """Instrumented shell around :meth:`_resolve`: one span plus
+        registry counters per batched call, mirrored as deltas of the
+        instance counters so both accountings always agree."""
+        hits0, misses0 = self.hits, self.misses
+        store_hits0 = self.store_hits
+        t0 = time.perf_counter()
+        with get_tracer().span(
+            "evaluator.evaluate_many", points=len(keys)
+        ) as span:
+            results = self._resolve(keys, by_key)
+            span.set(
+                hits=self.hits - hits0,
+                misses=self.misses - misses0,
+            )
+        _M_EVAL_CALL_S.observe(time.perf_counter() - t0)
+        _M_EVAL_CALLS.inc()
+        _M_EVAL_LOOKUPS.inc(len(keys))
+        _M_EVAL_HITS.inc(self.hits - hits0)
+        _M_EVAL_MISSES.inc(self.misses - misses0)
+        _M_EVAL_STORE_HITS.inc(self.store_hits - store_hits0)
+        return results
+
+    def _resolve(
+        self,
+        keys: Sequence[tuple],
+        by_key: dict[tuple, CoDesignPoint] | None,
+    ) -> dict[tuple, Evaluation]:
         """Resolve every key, batching all miss computations.
 
         Returns a key -> Evaluation mapping covering the whole request; the
@@ -363,25 +408,27 @@ class BatchEvaluator:
             # objects).  A hit is the repr-round-tripped original floats,
             # so it is bit-exact (``==``) with the cold computation.
             still_missing: list[tuple] = []
-            for key in missing:
-                values = (
-                    store.get(self._store_namespace, key)
-                    if len(key) == SEQUENCE_LENGTH
-                    else None
-                )
-                if values is not None and len(values) == 3:
-                    self.store_hits += 1
-                    result = Evaluation(
-                        accuracy=values[0],
-                        latency_ms=values[1],
-                        energy_mj=values[2],
+            with get_tracer().span("store.lookup", keys=len(missing)) as span:
+                for key in missing:
+                    values = (
+                        store.get(self._store_namespace, key)
+                        if len(key) == SEQUENCE_LENGTH
+                        else None
                     )
-                    results[key] = result
-                    self._lru_put(self._lru, key, result, self.cache_size)
-                else:
-                    if len(key) == SEQUENCE_LENGTH:
-                        self.store_misses += 1
-                    still_missing.append(key)
+                    if values is not None and len(values) == 3:
+                        self.store_hits += 1
+                        result = Evaluation(
+                            accuracy=values[0],
+                            latency_ms=values[1],
+                            energy_mj=values[2],
+                        )
+                        results[key] = result
+                        self._lru_put(self._lru, key, result, self.cache_size)
+                    else:
+                        if len(key) == SEQUENCE_LENGTH:
+                            self.store_misses += 1
+                        still_missing.append(key)
+                span.set(hits=len(missing) - len(still_missing))
             missing = still_missing
             if not missing:
                 return results
@@ -590,22 +637,26 @@ class AccurateEvaluator:
                     self.store_hits += 1
                     return values[0]
                 self.store_misses += 1
-        rng = np.random.default_rng(seed)
-        network = CellNetwork(
-            point.genotype,
-            num_cells=self.num_cells,
-            stem_channels=self.stem_channels,
-            num_classes=self.num_classes,
-            rng=rng,
-            train_fast=self.train_fast,
-        )
-        result = train_network(
-            network,
-            self.dataset,
-            epochs=self.train_epochs,
-            batch_size=self.batch_size,
-            seed=seed,
-        )
+        t0 = time.perf_counter()
+        with get_tracer().span("training.run", seed=seed):
+            rng = np.random.default_rng(seed)
+            network = CellNetwork(
+                point.genotype,
+                num_cells=self.num_cells,
+                stem_channels=self.stem_channels,
+                num_classes=self.num_classes,
+                rng=rng,
+                train_fast=self.train_fast,
+            )
+            result = train_network(
+                network,
+                self.dataset,
+                epochs=self.train_epochs,
+                batch_size=self.batch_size,
+                seed=seed,
+            )
+        _M_TRAIN_RUNS.inc()
+        _M_TRAIN_RUN_S.observe(time.perf_counter() - t0)
         if store is not None and store_key is not None:
             store.append(self._store_namespace, store_key, (result.val_accuracy,))
         return result.val_accuracy

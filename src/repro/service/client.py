@@ -17,6 +17,7 @@ import threading
 from typing import Sequence
 
 from ..nas.encoding import CoDesignPoint, decode
+from ..obs.tracing import get_tracer
 from ..search.evaluator import Evaluation
 from . import protocol
 
@@ -58,6 +59,10 @@ class ServiceClient:
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
         self._next_id = 0
+        #: Trace id of the most recent traced call (None when tracing is
+        #: off or the server did not echo one) — what tests assert the
+        #: wire round-trip against.
+        self.last_trace_id: str | None = None
 
     @classmethod
     def connect(cls, endpoint: str, timeout: float | None = 120.0) -> "ServiceClient":
@@ -66,32 +71,56 @@ class ServiceClient:
 
     # -- request plumbing ------------------------------------------------
     def _call(self, op: str, **payload) -> dict:
-        with self._lock:
-            self._next_id += 1
-            request_id = self._next_id
-            message = {
-                "v": protocol.WIRE_VERSION,
-                "id": request_id,
-                "op": op,
-                **payload,
-            }
-            self._file.write(protocol.encode_message(message))
-            self._file.flush()
-            line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
-        if not line:
-            raise ConnectionError("service closed the connection")
-        response = protocol.decode_message(line)
-        if not response.get("ok"):
-            error = response.get("error") or {}
-            raise ServiceError(
-                error.get("type", "unknown"), error.get("message", "")
-            )
-        if response.get("id") != request_id:
-            raise protocol.ProtocolError(
-                f"response id {response.get('id')!r} does not match "
-                f"request id {request_id!r}"
-            )
-        return response
+        # With tracing enabled, every call gets a client-side span and
+        # ships its ids in the optional "trace" field — the server links
+        # its spans under ours and echoes the trace id back.  Disabled
+        # (default), the message is byte-identical to the pre-trace wire.
+        span = get_tracer().span(f"client.{op}")
+        with span:
+            with self._lock:
+                self._next_id += 1
+                request_id = self._next_id
+                message = {
+                    "v": protocol.WIRE_VERSION,
+                    "id": request_id,
+                    "op": op,
+                    **payload,
+                }
+                if span.trace_id is not None:
+                    message["trace"] = {
+                        "id": span.trace_id,
+                        "span": span.span_id,
+                    }
+                self._file.write(protocol.encode_message(message))
+                self._file.flush()
+                line = self._file.readline(protocol.MAX_LINE_BYTES + 1)
+            if not line:
+                raise ConnectionError("service closed the connection")
+            response = protocol.decode_message(line)
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                raise ServiceError(
+                    error.get("type", "unknown"), error.get("message", "")
+                )
+            if response.get("id") != request_id:
+                raise protocol.ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id!r}"
+                )
+            if span.trace_id is not None:
+                echoed = response.get("trace")
+                self.last_trace_id = (
+                    echoed.get("id") if isinstance(echoed, dict) else None
+                )
+                if (
+                    self.last_trace_id is not None
+                    and self.last_trace_id != span.trace_id
+                ):
+                    raise protocol.ProtocolError(
+                        f"response trace id {self.last_trace_id!r} does not "
+                        f"match request trace id {span.trace_id!r}"
+                    )
+            return response
 
     # -- verbs -----------------------------------------------------------
     def evaluate_many(
@@ -194,6 +223,29 @@ class RemoteEvaluator:
     @property
     def cache_size(self) -> int:
         return self._evaluator_stat("cache_size")
+
+    # -- live service state (stats v2 fields) ----------------------------
+    @property
+    def scheduler_queue_depth(self) -> int:
+        """Requests sitting in the remote scheduler's coalescing window."""
+        return self.client.stats()["scheduler"].get("queue_depth", 0)
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests queued on the remote service's points budget."""
+        return self.client.stats()["service"].get("queued_requests", 0)
+
+    @property
+    def pool_resubmitted_shards(self) -> int:
+        """Shards the remote pool re-ran after worker crashes (0 when the
+        remote evaluator has no pool)."""
+        pool = self.client.stats()["evaluator"].get("pool") or {}
+        return pool.get("resubmitted_shards", 0)
+
+    def metrics(self) -> dict:
+        """The remote registry snapshot (the stats verb's ``metrics`` key;
+        empty dict from a pre-v2 server)."""
+        return self.client.stats().get("metrics", {})
 
     def service_stats(self) -> dict:
         """The full remote stats snapshot (service + scheduler + evaluator)."""

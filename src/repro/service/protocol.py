@@ -26,6 +26,14 @@ Responses::
     {"v": 1, "id": 8, "ok": true,  "evaluations": [{...}, ...]}
     {"v": 1, "id": 9, "ok": true,  "stats": {...}}
     {"v": 1, "id": 7, "ok": false, "error": {"type": "...", "message": "..."}}
+
+Any request may additionally carry an OPTIONAL ``"trace"`` field —
+``{"id": "<trace-id>", "span": "<parent-span-id>"}`` — linking the
+server-side spans into the caller's trace; the matching response echoes
+``{"id": "<trace-id>"}`` back.  Absent means untraced.  Because
+:func:`decode_message` checks the version and ignores unknown fields,
+the field is wire-version-compatible in both directions: an old peer
+simply never sees it.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ __all__ = [
     "decode_message",
     "error_response",
     "ok_response",
+    "trace_from_message",
 ]
 
 #: Bump when a message shape changes incompatibly; both peers reject
@@ -152,6 +161,27 @@ def error_response(request_id: object, kind: str, message: str) -> dict:
         "ok": False,
         "error": {"type": kind, "message": message},
     }
+
+
+def trace_from_message(message: dict) -> tuple[str, str | None] | None:
+    """The optional ``(trace_id, parent_span_id)`` a request carries.
+
+    ``None`` when the request is untraced (no ``"trace"`` field — the
+    default, and everything an old client sends).  A present-but-
+    malformed field is a protocol error: silently dropping it would break
+    the trace without telling anyone.
+    """
+    trace = message.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, dict) or not isinstance(trace.get("id"), str):
+        raise ProtocolError(
+            "'trace' must be an object with a string 'id'"
+        )
+    parent = trace.get("span")
+    if parent is not None and not isinstance(parent, str):
+        raise ProtocolError("'trace' 'span' must be a string when present")
+    return trace["id"], parent
 
 
 def points_from_wire(objs: Sequence[object]) -> list[CoDesignPoint]:

@@ -41,8 +41,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import threading
+import time
 from typing import Sequence
 
+from ..obs.registry import get_registry
+from ..obs.tracing import NULL_SPAN, get_tracer
 from ..parallel.scheduler import MicroBatchScheduler
 from . import protocol
 
@@ -53,6 +56,18 @@ __all__ = [
     "ServiceHandle",
     "start_service",
 ]
+
+# Module-level registry handles (see docs/OBSERVABILITY.md for the
+# schema).  Per-verb latency histograms exist only for the known verbs —
+# an unknown op must not mint unbounded metric names from hostile input.
+_REGISTRY = get_registry()
+_M_CONNECTIONS = _REGISTRY.counter("service.connections")
+_M_REQUESTS = _REGISTRY.counter("service.requests")
+_M_REJECTED = _REGISTRY.counter("service.rejected")
+_VERB_LATENCY = {
+    op: _REGISTRY.histogram(f"service.latency_s.{op}")
+    for op in ("evaluate", "evaluate_many", "stats", "shutdown")
+}
 
 
 class ServiceClosedError(RuntimeError):
@@ -292,6 +307,7 @@ class SearchService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections += 1
+        _M_CONNECTIONS.inc()
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
@@ -348,20 +364,65 @@ class SearchService:
             message = protocol.decode_message(line)
         except protocol.ProtocolError as exc:
             self.rejected += 1
+            _M_REJECTED.inc()
             return protocol.error_response(None, "protocol", str(exc))
         request_id = message.get("id")
         op = message.get("op")
         self.requests += 1
+        _M_REQUESTS.inc()
+        try:
+            trace = protocol.trace_from_message(message)
+        except protocol.ProtocolError as exc:
+            self.rejected += 1
+            _M_REJECTED.inc()
+            return protocol.error_response(request_id, "protocol", str(exc))
+        latency = _VERB_LATENCY.get(op)
+        t0 = time.perf_counter()
+        if trace is not None:
+            # Adopt the caller's trace: the server-side spans (this verb,
+            # the scheduler batch, pool shards, store lookups) all link
+            # under the client's span.  When this server's tracer is
+            # disabled the span is the null span, but the ids still ride
+            # through to the scheduler — propagation is free, recording
+            # is what's gated.
+            span = get_tracer().span(
+                f"service.{op}", trace_id=trace[0], parent_id=trace[1]
+            )
+            with span:
+                trace_ctx = (
+                    (span.trace_id, span.span_id)
+                    if span is not NULL_SPAN
+                    else trace
+                )
+                response = await self._dispatch_op(
+                    op, message, request_id, trace_ctx
+                )
+        else:
+            response = await self._dispatch_op(op, message, request_id, None)
+        if latency is not None:
+            latency.observe(time.perf_counter() - t0)
+        if trace is not None and response.get("ok"):
+            # Echo the trace id so the client can assert the round-trip.
+            response["trace"] = {"id": trace[0]}
+        return response
+
+    async def _dispatch_op(
+        self,
+        op: object,
+        message: dict,
+        request_id: object,
+        trace: tuple[str, str | None] | None,
+    ) -> dict:
         try:
             if op == "evaluate":
                 points = protocol.points_from_wire([message.get("point")])
-                results = await self._evaluate(points)
+                results = await self._evaluate(points, trace)
                 return protocol.ok_response(
                     request_id, evaluation=protocol.evaluation_to_wire(results[0])
                 )
             if op == "evaluate_many":
                 points = protocol.points_from_wire(message.get("points"))
-                results = await self._evaluate(points)
+                results = await self._evaluate(points, trace)
                 return protocol.ok_response(
                     request_id,
                     evaluations=[protocol.evaluation_to_wire(r) for r in results],
@@ -372,21 +433,28 @@ class SearchService:
                 self.request_shutdown()
                 return protocol.ok_response(request_id, closing=True)
             self.rejected += 1
+            _M_REJECTED.inc()
             return protocol.error_response(
                 request_id, "protocol", f"unknown op {op!r}"
             )
         except protocol.ProtocolError as exc:
             self.rejected += 1
+            _M_REJECTED.inc()
             return protocol.error_response(request_id, "protocol", str(exc))
         except ServiceClosedError as exc:
             self.rejected += 1
+            _M_REJECTED.inc()
             return protocol.error_response(request_id, "closed", str(exc))
         except Exception as exc:  # evaluator errors reach the caller, typed
             return protocol.error_response(
                 request_id, type(exc).__name__, str(exc)
             )
 
-    async def _evaluate(self, points: Sequence) -> list:
+    async def _evaluate(
+        self,
+        points: Sequence,
+        trace: tuple[str, str | None] | None = None,
+    ) -> list:
         if self._closing:
             raise ServiceClosedError("service is shutting down")
         assert self._budget is not None
@@ -395,7 +463,7 @@ class SearchService:
             if not points:
                 return []
             try:
-                future = self.scheduler.submit(points)
+                future = self.scheduler.submit(points, trace=trace)
             except RuntimeError as exc:  # "scheduler is closed"
                 raise ServiceClosedError(str(exc)) from exc
             return await asyncio.wrap_future(future)
@@ -404,9 +472,21 @@ class SearchService:
 
     # -- stats -----------------------------------------------------------
     def stats(self) -> dict:
-        """A JSON-ready snapshot of service, scheduler and evaluator state."""
+        """A JSON-ready snapshot of service, scheduler and evaluator state.
+
+        v2 shape: the classic per-subsystem sections gain *live* queue
+        state (scheduler ``queue_depth``/``queued_points``, the budget's
+        ``queued_requests``), the pool dict gains ``resubmitted_shards``,
+        and a top-level ``"metrics"`` key carries the full registry
+        snapshot (pure JSON data — see ``docs/OBSERVABILITY.md``).  Old
+        clients ignore the new fields; ``yoso stats`` renders them.
+        """
         scheduler = self.scheduler
         ticks = scheduler.ticks
+        queue_depth = scheduler.queue_depth
+        queued_points = scheduler.queued_points
+        inflight = self._budget.used if self._budget else 0
+        queued_requests = self._budget.waiting if self._budget else 0
         stats = {
             "wire_version": protocol.WIRE_VERSION,
             "service": {
@@ -416,8 +496,8 @@ class SearchService:
                 "active": self._active,
                 "closing": self._closing,
                 "max_inflight_points": self.max_inflight_points,
-                "inflight_points": self._budget.used if self._budget else 0,
-                "queued_requests": self._budget.waiting if self._budget else 0,
+                "inflight_points": inflight,
+                "queued_requests": queued_requests,
                 "peak_inflight_points": self._budget.peak if self._budget else 0,
             },
             "scheduler": {
@@ -426,6 +506,8 @@ class SearchService:
                 "points_in": scheduler.points_in,
                 "largest_batch": scheduler.largest_batch,
                 "errors": scheduler.errors,
+                "queue_depth": queue_depth,
+                "queued_points": queued_points,
                 "coalescing_ratio": (
                     scheduler.requests / ticks if ticks else None
                 ),
@@ -436,6 +518,15 @@ class SearchService:
         }
         if self.store is not None:
             stats["store"] = self.store.stats()
+        # Point-in-time gauges are sampled at snapshot time (they have no
+        # meaningful "increment" moments), then the registry rides along.
+        registry = get_registry()
+        registry.gauge("service.active").set(self._active)
+        registry.gauge("service.inflight_points").set(inflight)
+        registry.gauge("service.queued_requests").set(queued_requests)
+        registry.gauge("scheduler.queue_depth").set(queue_depth)
+        registry.gauge("scheduler.queued_points").set(queued_points)
+        stats["metrics"] = registry.snapshot()
         return stats
 
     def _evaluator_stats(self) -> dict:
@@ -454,6 +545,7 @@ class SearchService:
                 "batches": pool.batches,
                 "items": pool.items,
                 "restarts": pool.restarts,
+                "resubmitted_shards": pool.resubmitted_shards,
                 "payload_bytes": pool.payload_bytes,
             }
         return stats

@@ -56,6 +56,8 @@ import threading
 import zlib
 from typing import Iterator
 
+from ..obs.registry import get_registry
+
 try:  # pragma: no cover - always present on the POSIX hosts we target
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback (no inter-
@@ -77,6 +79,13 @@ MAGIC = b"YOSO-STORE-1\n"
 MAX_RECORD_BYTES = 16 * 1024 * 1024
 
 _U32 = struct.Struct("<I")
+
+# Process-wide mirrors of the per-instance lifetime counters (a process
+# can hold several stores; the registry aggregates them).
+_REGISTRY = get_registry()
+_M_APPENDS = _REGISTRY.counter("store.appends")
+_M_LOOKUPS = _REGISTRY.counter("store.lookups")
+_M_HITS = _REGISTRY.counter("store.hits")
 
 
 class StoreError(RuntimeError):
@@ -254,6 +263,7 @@ class ResultStore:
             self._size += len(blob)
             self._index[(namespace, key)] = values
             self.appends += 1
+        _M_APPENDS.inc()
 
     def sync(self) -> None:
         """fsync the log (appends already hit the OS synchronously)."""
@@ -266,8 +276,10 @@ class ResultStore:
         """The stored values for ``(namespace, key)``, or ``None``."""
         values = self._index.get((namespace, tuple(int(k) for k in key)))
         self.lookups += 1
+        _M_LOOKUPS.inc()
         if values is not None:
             self.hits += 1
+            _M_HITS.inc()
         return values
 
     def __contains__(self, ns_key: tuple) -> bool:

@@ -18,7 +18,13 @@ import pytest
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Every prose document whose code references are checked against src/.
-DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/PERFORMANCE.md"]
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/PERFORMANCE.md",
+    "docs/OBSERVABILITY.md",
+]
 
 
 def read(name: str) -> str:
@@ -115,6 +121,11 @@ class TestReferencedFilesExist:
         """README and DESIGN must point readers at docs/PERFORMANCE.md."""
         assert "docs/PERFORMANCE.md" in read("README.md")
         assert "docs/PERFORMANCE.md" in read("DESIGN.md")
+
+    def test_observability_doc_crosslinked(self):
+        """README and DESIGN must point readers at docs/OBSERVABILITY.md."""
+        assert "docs/OBSERVABILITY.md" in read("README.md")
+        assert "docs/OBSERVABILITY.md" in read("DESIGN.md")
 
 
 class TestPaperConstantsMatchCode:

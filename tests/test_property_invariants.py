@@ -95,8 +95,12 @@ class TestRewardInvariants:
         base = spec.reward(acc, 1.0, 8.0)
         assert spec.reward(acc, 0.5, 8.0) > base  # faster is better
         assert spec.reward(acc, 1.0, 4.0) > base  # greener is better
-        if acc < 1.0:
-            assert spec.reward(min(1.0, acc + 0.1), 1.0, 8.0) > base
+        # More accurate is better — asserted strictly only when the bump
+        # is resolvable: for acc within one ulp of 1.0 the clamped +0.1
+        # bump changes the reward product by less than machine epsilon.
+        bumped = min(1.0, acc + 0.1)
+        if bumped - acc > 1e-9:
+            assert spec.reward(bumped, 1.0, 8.0) > base
 
     @given(spec=_specs())
     @settings(deadline=None, max_examples=20)

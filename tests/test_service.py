@@ -460,8 +460,9 @@ class TestRemoteEvaluator:
         assert set(local_sections) == set(remote_sections)
         for name in local_sections:
             # Fig. 4 embeds a wall-clock speedup column (and never touches
-            # the evaluator); the efficiency section differs by design.
-            if name.startswith(("Fig. 4", "Evaluator efficiency")):
+            # the evaluator); the efficiency and metrics sections differ
+            # by design (they describe the engine, not the results).
+            if name.startswith(("Fig. 4", "Evaluator efficiency", "Metrics")):
                 continue
             assert remote_sections[name] == local_sections[name], (
                 f"section {name!r} must be identical when scoring goes "
