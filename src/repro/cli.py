@@ -146,6 +146,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tick_s=args.tick_s,
         max_batch_points=args.max_batch_points,
         max_inflight_points=args.max_inflight,
+        idle_timeout_s=args.idle_timeout_s,
         # The context opened the store (shared with sample collection) and
         # its atexit cleanup closes it; the service syncs it on drain.
         store=context.store,
@@ -162,7 +163,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import render_stats
     from repro.service.client import ServiceClient
 
-    with ServiceClient.connect(args.endpoint, timeout=args.timeout) as client:
+    retry = None
+    if args.retry_max is not None:
+        from repro.resilience import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retry_max)
+    with ServiceClient.connect(
+        args.endpoint,
+        timeout=args.timeout,
+        retry=retry,
+        deadline_s=args.deadline_s,
+    ) as client:
         stats = client.stats()
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
@@ -239,6 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable span tracing and append one JSON line per "
                         "span to PATH (default: tracing off — zero-cost; "
                         "see docs/OBSERVABILITY.md)")
+    p.add_argument("--idle-timeout-s", type=float, default=None,
+                   help="disconnect a peer that sends nothing for this many "
+                        "seconds (default: never) so dead clients cannot "
+                        "pin server resources — see docs/RESILIENCE.md")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -250,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the raw stats JSON instead of the rendering")
     p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--retry-max", type=int, default=None,
+                   help="max attempts for the stats request (default: the "
+                        "client's standard retry policy; 1 disables retries "
+                        "— see docs/RESILIENCE.md)")
+    p.add_argument("--deadline-s", type=float, default=None,
+                   help="total time budget for the request (connect + write "
+                        "+ read + retries); a blown budget raises a typed "
+                        "DeadlineExceeded instead of hanging")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("space", help="search-space statistics")

@@ -32,6 +32,9 @@ def generate_report(
     workers: int = 1,
     endpoint: str | None = None,
     store_path: str | None = None,
+    retry_max: int | None = None,
+    deadline_s: float | None = None,
+    fallback_local: bool = False,
 ) -> str:
     """Run every experiment and return the combined markdown report.
 
@@ -60,6 +63,14 @@ def generate_report(
     a report re-run on the same path replays persisted results
     bit-identically.  Only applies when ``context`` is None, like
     ``workers``.
+
+    Endpoint-mode resilience knobs (see docs/RESILIENCE.md):
+    ``retry_max`` overrides the client's max attempts per request
+    (``1`` disables retries), ``deadline_s`` sets a per-request time
+    budget, and ``fallback_local`` keeps the report running through a
+    dead service by scoring on the local evaluator while the circuit
+    breaker is open — results are identical either way, because
+    evaluation is deterministic.
     """
     if endpoint is not None:
         from dataclasses import replace
@@ -72,9 +83,17 @@ def generate_report(
         base = context or get_context(
             scale_name, seed, workers=workers, store_path=store_path
         )
+        retry = None
+        if retry_max is not None:
+            from ..resilience import RetryPolicy
+
+            retry = RetryPolicy(max_attempts=retry_max)
+        fallback = base.batch_evaluator if fallback_local else None
         # Close the connection on every exit path — a failing experiment
         # must not leak the client socket (and the server's reader task).
-        with RemoteEvaluator(endpoint) as remote:
+        with RemoteEvaluator(
+            endpoint, retry=retry, deadline_s=deadline_s, fallback=fallback
+        ) as remote:
             return _generate(
                 replace(base, batch_evaluator=remote),
                 seed, scale_name, iterations, correlation_models,
@@ -230,21 +249,37 @@ def _generate(
                   f"({store.size_bytes} bytes, {store.appends} appended "
                   f"this run)."]
     if remote is not None:
-        stats = remote.service_stats()
-        sched = stats["scheduler"]
-        service = stats["service"]
-        ratio = sched["coalescing_ratio"]
-        parts += ["",
-                  f"Search service: endpoint {endpoint}, "
-                  f"{service['requests']} requests over "
-                  f"{service['connections']} connections; scheduler ran "
-                  f"{sched['ticks']} ticks for {sched['requests']} submitted "
-                  f"requests ({sched['points_in']} points, "
-                  f"largest batch {sched['largest_batch']}, "
-                  f"{sched['errors']} errors"
-                  + (f", {ratio:.2f} requests/tick" if ratio else "")
-                  + f"); peak in-flight {service['peak_inflight_points']} / "
-                  f"{service['max_inflight_points']} budget points."]
+        # A dead backend must not fail the report when a fallback served
+        # the run — degrade the service line like the scoring calls did
+        # (see docs/RESILIENCE.md, "--fallback-local").
+        try:
+            stats = remote.service_stats()
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            res = remote.resilience_stats()
+            breaker = res.get("breaker") or {}
+            parts += ["",
+                      f"Search service: endpoint {endpoint} unreachable "
+                      f"({type(exc).__name__}); {res['fallback_calls']} "
+                      f"scoring calls served by the local fallback "
+                      f"evaluator (circuit breaker "
+                      f"{breaker.get('state', 'n/a')}, "
+                      f"{breaker.get('opens', 0)} opens, "
+                      f"{res['retries']} request retries)."]
+        else:
+            sched = stats["scheduler"]
+            service = stats["service"]
+            ratio = sched["coalescing_ratio"]
+            parts += ["",
+                      f"Search service: endpoint {endpoint}, "
+                      f"{service['requests']} requests over "
+                      f"{service['connections']} connections; scheduler ran "
+                      f"{sched['ticks']} ticks for {sched['requests']} submitted "
+                      f"requests ({sched['points_in']} points, "
+                      f"largest batch {sched['largest_batch']}, "
+                      f"{sched['errors']} errors"
+                      + (f", {ratio:.2f} requests/tick" if ratio else "")
+                      + f"); peak in-flight {service['peak_inflight_points']} / "
+                      f"{service['max_inflight_points']} budget points."]
     elif context.workers > 1:
         pool = getattr(evaluator, "pool", None)
         threshold = getattr(evaluator, "dispatch_threshold", None)
@@ -313,6 +348,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="enable span tracing and append one JSON line "
                              "per span to PATH (default: tracing off)")
+    parser.add_argument("--retry-max", type=int, default=None,
+                        help="endpoint mode: max attempts per request "
+                             "(default: the client's standard retry policy; "
+                             "1 disables retries — docs/RESILIENCE.md)")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        help="endpoint mode: per-request time budget; a "
+                             "blown budget raises DeadlineExceeded instead "
+                             "of hanging")
+    parser.add_argument("--fallback-local", action="store_true",
+                        help="endpoint mode: when the service is unreachable "
+                             "(circuit breaker open), score on the local "
+                             "evaluator instead of failing — results are "
+                             "identical, only latency changes")
     parser.add_argument("--output", default=None,
                         help="write the report here instead of stdout")
     args = parser.parse_args(argv)
@@ -322,7 +370,10 @@ def main(argv: list[str] | None = None) -> int:
         configure_tracing(enabled=True, sink_path=args.trace_out)
     report = generate_report(args.scale, args.seed, iterations=args.iterations,
                              workers=args.workers, endpoint=args.endpoint,
-                             store_path=args.store)
+                             store_path=args.store,
+                             retry_max=args.retry_max,
+                             deadline_s=args.deadline_s,
+                             fallback_local=args.fallback_local)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)

@@ -36,6 +36,7 @@ under threads (the micro-batch scheduler) and on every platform.
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 import time
@@ -51,6 +52,8 @@ from ..nn.module import Module
 from ..obs.registry import get_registry
 from ..obs.tracing import NULL_SPAN, current_context, get_tracer, new_span_id
 from ..predict.features import genotype_features
+from ..resilience import faults
+from ..resilience.faults import InjectedFault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..nas.genotype import Genotype
@@ -210,6 +213,25 @@ def _run_shard(items: list[WorkItem]) -> ShardResult:
     return compute_work_items(worker_state(), items)
 
 
+def _faulted_task(fn, action: str, delay_s: float, shard: list):
+    """Worker-side execution of a parent-decided ``pool.worker`` fault.
+
+    The *decision* happens in the parent (:func:`repro.resilience.faults.
+    decide`) at submission time — deciding worker-side would reset the
+    plan's hit counts in every respawned process, so a count-bounded
+    ``kill`` would re-fire forever.  ``kill`` dies with the same exit
+    code a hard crash test uses; ``delay`` sleeps then runs the task;
+    anything else raises :class:`InjectedFault` (a genuine task error —
+    the pool propagates it, it does not trigger a respawn).
+    """
+    if action == "kill":
+        os._exit(17)
+    if action == "delay":
+        time.sleep(delay_s)
+        return fn(shard)
+    raise InjectedFault(f"injected {action} at pool.worker")
+
+
 def _run_traced(fn, shard: list, trace_id: str, parent_id: str | None):
     """Run a shard task with a worker-side span; returns ``(result, spans)``.
 
@@ -343,25 +365,36 @@ class WorkerPool:
                 try:
                     # submit() itself raises when the pool noticed a death
                     # between batches, so it sits inside the retry scope too.
-                    if traced:
-                        futures = [
-                            (
-                                i,
-                                executor.submit(
-                                    _run_traced,
-                                    fn,
-                                    shard_lists[i],
-                                    dispatch_span.trace_id,
-                                    dispatch_span.span_id,
-                                ),
+                    futures = []
+                    for i in pending:
+                        task = fn
+                        rule = faults.decide("pool.worker")
+                        if rule is not None:
+                            # Parent-side decision, worker-side execution:
+                            # the hit is consumed exactly once here, so a
+                            # respawned pool resubmitting this shard
+                            # re-consults the plan and a count-bounded
+                            # kill fires once, not on every respawn.
+                            task = functools.partial(
+                                _faulted_task, fn, rule.action, rule.delay_s
                             )
-                            for i in pending
-                        ]
-                    else:
-                        futures = [
-                            (i, executor.submit(fn, shard_lists[i]))
-                            for i in pending
-                        ]
+                        if traced:
+                            futures.append(
+                                (
+                                    i,
+                                    executor.submit(
+                                        _run_traced,
+                                        task,
+                                        shard_lists[i],
+                                        dispatch_span.trace_id,
+                                        dispatch_span.span_id,
+                                    ),
+                                )
+                            )
+                        else:
+                            futures.append(
+                                (i, executor.submit(task, shard_lists[i]))
+                            )
                 except BrokenProcessPool:
                     futures = []
                     crashed = True

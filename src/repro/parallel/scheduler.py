@@ -39,9 +39,11 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..obs.registry import COUNT_BUCKETS, get_registry
 from ..obs.tracing import NULL_SPAN, current_context, get_tracer
+from ..resilience import faults
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..nas.encoding import CoDesignPoint
+    from ..resilience.policy import RetryPolicy
     from ..search.evaluator import Evaluation
 
 __all__ = ["MicroBatchScheduler"]
@@ -82,6 +84,14 @@ class MicroBatchScheduler:
     ``tick_s`` is the coalescing window the scheduler thread waits after
     traffic arrives; ``max_batch_points`` bounds how many points a single
     coalesced batch may hold (a single larger request still runs whole).
+
+    ``retry`` (optional :class:`~repro.resilience.policy.RetryPolicy`)
+    re-runs a batch whose evaluator raised a *retryable* error (transient
+    wire/store faults) — safe because evaluation is deterministic, so a
+    re-run yields identical results.  Terminal errors (``ValueError``
+    from a bad point, and anything else outside the policy's retryable
+    classes) still propagate to every coalesced caller exactly as with
+    the ``None`` default.
     """
 
     def __init__(
@@ -90,6 +100,7 @@ class MicroBatchScheduler:
         tick_s: float = 0.002,
         max_batch_points: int = 4096,
         auto_start: bool = True,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         if tick_s < 0:
             raise ValueError("tick_s must be >= 0")
@@ -98,6 +109,7 @@ class MicroBatchScheduler:
         self.evaluator = evaluator
         self.tick_s = tick_s
         self.max_batch_points = max_batch_points
+        self.retry = retry
         self._pending: deque[_Request] = deque()
         self._cond = threading.Condition()
         # Serialises batch execution: the underlying evaluator is not safe
@@ -118,6 +130,9 @@ class MicroBatchScheduler:
         self.points_in = 0
         self.largest_batch = 0
         self.errors = 0
+        #: Batches re-run after a retryable evaluator failure (requires a
+        #: ``retry`` policy; each re-run also counts in resilience.retries).
+        self.retried_batches = 0
         if auto_start:
             self.start()
 
@@ -241,7 +256,7 @@ class MicroBatchScheduler:
         _M_BATCH_POINTS.observe(len(points))
         try:
             with span:
-                results = self.evaluator.evaluate_many(points)
+                results = self._evaluate_batch(points)
         except BaseException as exc:  # propagate to every coalesced caller
             # A failed batch is still a tick the evaluator ran — the stats
             # must not under-report traffic (or hide errors) under faults.
@@ -262,6 +277,28 @@ class MicroBatchScheduler:
         for request in batch:
             request.future.set_result(results[offset : offset + len(request.points)])
             offset += len(request.points)
+
+    def _evaluate_batch(self, points: list) -> list:
+        """One evaluator call, optionally under the retry policy.
+
+        ``faults.hit`` marks the tick boundary (a no-op without an
+        installed plan); with a policy, a retryable failure re-runs the
+        SAME batch — deterministic evaluation makes the re-run's results
+        identical, so coalesced callers cannot observe the retry.
+        """
+        if self.retry is None:
+            faults.hit("scheduler.tick")
+            return self.evaluator.evaluate_many(points)
+
+        def attempt(n: int) -> list:
+            faults.hit("scheduler.tick")
+            return self.evaluator.evaluate_many(points)
+
+        def note_retry(exc: BaseException, n: int, delay: float) -> None:
+            with self._cond:
+                self.retried_batches += 1
+
+        return self.retry.run(attempt, on_retry=note_retry)
 
     def flush(self) -> int:
         """Drain the queue synchronously in the calling thread.

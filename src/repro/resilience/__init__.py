@@ -1,0 +1,31 @@
+"""Resilience layer: retry/deadline/breaker policies + fault injection.
+
+``repro.resilience.policy`` holds the pure policy classes every
+boundary shares (:class:`RetryPolicy`, :class:`Deadline`,
+:class:`CircuitBreaker`); ``repro.resilience.faults`` holds the
+deterministic process-wide :class:`FaultPlan` the chaos suite uses to
+script failures at named sites.  See docs/RESILIENCE.md.
+"""
+
+from .policy import (
+    CIRCUIT_CLOSED,
+    CIRCUIT_HALF_OPEN,
+    CIRCUIT_OPEN,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+from .faults import FaultPlan, InjectedFault
+
+__all__ = [
+    "RetryPolicy",
+    "Deadline",
+    "DeadlineExceeded",
+    "CircuitBreaker",
+    "CIRCUIT_CLOSED",
+    "CIRCUIT_HALF_OPEN",
+    "CIRCUIT_OPEN",
+    "FaultPlan",
+    "InjectedFault",
+]

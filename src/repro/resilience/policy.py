@@ -1,0 +1,387 @@
+"""Resilience policies: retry with backoff, deadlines, circuit breaking.
+
+Three small pure classes every boundary in the stack shares:
+
+* :class:`RetryPolicy` — classified retryable-vs-terminal errors,
+  exponential backoff with *deterministic seeded jitter* (the delay for
+  attempt ``n`` is a pure function of ``(seed, n)``, so tests and
+  replayed traces see identical schedules), bounded by ``max_attempts``
+  and ``max_elapsed_s``.
+* :class:`Deadline` — one per-request time budget created at the top of
+  a call and consumed down through connect/write/read: every blocking
+  step asks :meth:`Deadline.timeout` for the *remaining* budget instead
+  of applying its own socket-level timeout, so the caller gets one
+  coherent bound and a clean typed :class:`DeadlineExceeded` instead of
+  a hang or an ambiguous socket error.
+* :class:`CircuitBreaker` — the classic closed → open (after N
+  consecutive failures) → half-open (one probe after ``reset_s``) state
+  machine that lets a client stop hammering a dead backend and degrade
+  to a local fallback (:class:`~repro.service.client.RemoteEvaluator`).
+
+All three report into the :mod:`repro.obs` registry
+(``resilience.retries``, ``resilience.backoff_s``,
+``resilience.circuit_state``, ``resilience.circuit_opens``) and none of
+them ever changes a computed value — retries re-run deterministic work,
+deadlines abort it, breakers reroute it.  The retry-safety invariant the
+service stack relies on is stated (and tested) at the call sites:
+evaluations are deterministic and the wire codec value-preserving, so
+re-running a request yields bit-identical results.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable
+
+from ..obs.registry import get_registry
+
+__all__ = [
+    "DeadlineExceeded",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CIRCUIT_CLOSED",
+    "CIRCUIT_OPEN",
+    "CIRCUIT_HALF_OPEN",
+]
+
+# Module-level registry handles (the uniform pattern across instrumented
+# modules: fetched once, no name lookups on the hot path).
+_REGISTRY = get_registry()
+_M_RETRIES = _REGISTRY.counter("resilience.retries")
+_M_BACKOFF_S = _REGISTRY.histogram("resilience.backoff_s")
+_M_CIRCUIT_STATE = _REGISTRY.gauge("resilience.circuit_state")
+_M_CIRCUIT_OPENS = _REGISTRY.counter("resilience.circuit_opens")
+_M_DEADLINES = _REGISTRY.counter("resilience.deadlines_exceeded")
+
+
+class DeadlineExceeded(TimeoutError):
+    """A per-request time budget ran out (clean, typed — never a hang).
+
+    Deliberately *terminal* for every :class:`RetryPolicy`: once the
+    budget is gone, another attempt cannot help.
+    """
+
+
+class Deadline:
+    """A per-request time budget, created once and consumed downward.
+
+    ``Deadline(budget_s)`` starts the clock; ``Deadline(None)`` is the
+    unlimited deadline (every query answers "plenty left"), so call
+    chains can thread one object unconditionally.  ``clock`` is
+    injectable for tests (monotonic seconds).
+    """
+
+    __slots__ = ("budget_s", "_clock", "_t0")
+
+    def __init__(self, budget_s: float | None, clock=time.monotonic) -> None:
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError("deadline budget must be positive (or None)")
+        self.budget_s = budget_s
+        self._clock = clock
+        self._t0 = clock()
+
+    @property
+    def unlimited(self) -> bool:
+        return self.budget_s is None
+
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (``inf`` for the unlimited deadline)."""
+        if self.budget_s is None:
+            return float("inf")
+        return self.budget_s - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            _M_DEADLINES.inc()
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.budget_s}s deadline"
+            )
+
+    def timeout(self, cap: float | None = None, what: str = "request") -> float | None:
+        """The timeout a blocking step should apply right now.
+
+        The smaller of ``cap`` (the step's own default, e.g. the client's
+        socket timeout) and the remaining budget; ``None`` when both are
+        unlimited.  Raises :class:`DeadlineExceeded` instead of returning
+        a non-positive timeout, so an already-blown budget fails before
+        the syscall rather than inside it.
+        """
+        self.check(what)
+        remaining = self.remaining()
+        if cap is None:
+            return None if remaining == float("inf") else remaining
+        return min(cap, remaining)
+
+
+class RetryPolicy:
+    """Bounded retries with deterministic seeded exponential backoff.
+
+    Errors are *classified*: only instances of ``retryable`` types (minus
+    ``terminal`` types — checked first, so :class:`DeadlineExceeded` is
+    never retried even though it subclasses ``TimeoutError``) qualify for
+    another attempt.  The delay before attempt ``n + 1`` is::
+
+        min(max_delay_s, base_delay_s * multiplier ** (n - 1)) * jitter_n
+
+    where ``jitter_n`` is drawn uniformly from ``[1 - jitter, 1]`` by a
+    RNG seeded with ``(seed, n)`` — a pure function, so two policies with
+    the same parameters produce the same schedule on every host (the
+    determinism the chaos suite pins).  ``max_attempts`` counts total
+    attempts (1 = no retries); ``max_elapsed_s`` caps the whole loop.
+
+    The policy object is immutable state + pure functions; it holds no
+    locks and is safe to share across threads and call sites.
+    """
+
+    #: Default classification for wire-ish boundaries: connection tears,
+    #: timeouts and OS-level I/O errors are transient; everything else —
+    #: typed server errors, protocol violations the peer answered with,
+    #: programming errors — is terminal.
+    DEFAULT_RETRYABLE: tuple[type, ...] = (ConnectionError, TimeoutError, OSError)
+    DEFAULT_TERMINAL: tuple[type, ...] = (DeadlineExceeded,)
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay_s: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay_s: float = 2.0,
+        jitter: float = 0.5,
+        max_elapsed_s: float | None = None,
+        seed: int = 0,
+        retryable: tuple[type, ...] | None = None,
+        terminal: tuple[type, ...] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay_s < 0 or max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self.max_elapsed_s = max_elapsed_s
+        self.seed = seed
+        self.retryable = (
+            self.DEFAULT_RETRYABLE if retryable is None else tuple(retryable)
+        )
+        self.terminal = (
+            self.DEFAULT_TERMINAL if terminal is None else tuple(terminal)
+        )
+
+    # -- classification --------------------------------------------------
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` qualifies for another attempt (type-based)."""
+        if isinstance(exc, self.terminal):
+            return False
+        return isinstance(exc, self.retryable)
+
+    def should_retry(
+        self, exc: BaseException, attempt: int, elapsed_s: float = 0.0
+    ) -> bool:
+        """Classification + budget: may attempt ``attempt + 1`` happen?"""
+        if not self.is_retryable(exc):
+            return False
+        if attempt >= self.max_attempts:
+            return False
+        if self.max_elapsed_s is not None and elapsed_s >= self.max_elapsed_s:
+            return False
+        return True
+
+    # -- backoff ---------------------------------------------------------
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic delay before attempt ``attempt + 1`` (pure)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        delay = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+        )
+        if self.jitter:
+            # random.Random(str) seeds via sha512 — deterministic across
+            # processes and platforms, unlike hash().
+            u = random.Random(f"{self.seed}:{attempt}").random()
+            delay *= 1.0 - self.jitter + self.jitter * u
+        return delay
+
+    def sleep_before_retry(self, attempt: int) -> float:
+        """Count the retry, observe and sleep the backoff; returns it."""
+        delay = self.backoff_s(attempt)
+        _M_RETRIES.inc()
+        _M_BACKOFF_S.observe(delay)
+        time.sleep(delay)
+        return delay
+
+    # -- driver ----------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[int], object],
+        deadline: Deadline | None = None,
+        on_retry: Callable[[BaseException, int, float], None] | None = None,
+    ):
+        """Run ``fn(attempt)`` under this policy; return its result.
+
+        Terminal errors, exhausted attempts/elapsed budget and a
+        ``deadline`` too small to fit the next backoff all re-raise the
+        last error (a blown deadline raises :class:`DeadlineExceeded`
+        from it).  ``on_retry(exc, attempt, delay_s)`` fires before each
+        backoff sleep — the hook call sites use for accounting.
+        """
+        t0 = time.monotonic()
+        attempt = 1
+        while True:
+            try:
+                return fn(attempt)
+            except BaseException as exc:
+                elapsed = time.monotonic() - t0
+                if not self.should_retry(exc, attempt, elapsed):
+                    raise
+                if deadline is not None and (
+                    deadline.remaining() <= self.backoff_s(attempt)
+                ):
+                    # The budget cannot fit another backoff + attempt: the
+                    # caller always gets the typed budget error, never an
+                    # opaque transport one.
+                    _M_DEADLINES.inc()
+                    raise DeadlineExceeded(
+                        f"deadline exhausted after {attempt} attempt(s)"
+                    ) from exc
+                delay = self.backoff_s(attempt)
+                if on_retry is not None:
+                    on_retry(exc, attempt, delay)
+                self.sleep_before_retry(attempt)
+                attempt += 1
+
+
+#: Circuit-breaker states (the gauge encodes them 0 / 1 / 2).
+CIRCUIT_CLOSED = "closed"
+CIRCUIT_HALF_OPEN = "half_open"
+CIRCUIT_OPEN = "open"
+_STATE_GAUGE_VALUE = {CIRCUIT_CLOSED: 0, CIRCUIT_HALF_OPEN: 1, CIRCUIT_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed → open after N consecutive failures → half-open probe.
+
+    *Closed* admits every call.  ``failure_threshold`` consecutive
+    recorded failures trip it *open*: calls are refused (``allow()`` is
+    False) for ``reset_s`` seconds, after which the breaker goes
+    *half-open* and admits exactly ONE probe call; the probe's outcome
+    closes the breaker (success) or re-opens it for another ``reset_s``
+    (failure).  A success in any state resets the failure count.
+
+    ``clock`` is injectable (monotonic seconds) so the state machine is
+    unit-testable without sleeping.  Thread-safe; state transitions set
+    the ``resilience.circuit_state`` gauge (0 closed / 1 half-open /
+    2 open) and trips increment ``resilience.circuit_opens``.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_s: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_s < 0:
+            raise ValueError("reset_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CIRCUIT_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Lifetime counters (stats surfaces).
+        self.opens = 0
+        self.probes = 0
+
+    # -- state -----------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures recorded since the last success."""
+        return self._failures
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        _M_CIRCUIT_STATE.set(_STATE_GAUGE_VALUE[state])
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == CIRCUIT_OPEN
+            and self._clock() - self._opened_at >= self.reset_s
+        ):
+            self._set_state(CIRCUIT_HALF_OPEN)
+            self._probing = False
+
+    # -- the three verbs -------------------------------------------------
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Closed: always.  Open: no, until ``reset_s`` has elapsed.  Half-
+        open: yes for exactly one caller (the probe); concurrent callers
+        are refused until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CIRCUIT_CLOSED:
+                return True
+            if self._state == CIRCUIT_HALF_OPEN and not self._probing:
+                self._probing = True
+                self.probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            if self._state != CIRCUIT_CLOSED:
+                self._set_state(CIRCUIT_CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            self._failures += 1
+            self._probing = False
+            if self._state == CIRCUIT_HALF_OPEN or (
+                self._state == CIRCUIT_CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._set_state(CIRCUIT_OPEN)
+                self._opened_at = self._clock()
+                self.opens += 1
+                _M_CIRCUIT_OPENS.inc()
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot (client adapters surface it)."""
+        return {
+            "state": self.state,
+            "failures": self._failures,
+            "failure_threshold": self.failure_threshold,
+            "reset_s": self.reset_s,
+            "opens": self.opens,
+            "probes": self.probes,
+        }

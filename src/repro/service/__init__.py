@@ -12,14 +12,18 @@ endpoint.  This package is that endpoint:
 * :mod:`repro.service.server` — :class:`SearchService`: an asyncio TCP
   server owning ONE persistent evaluator behind a
   :class:`~repro.parallel.scheduler.MicroBatchScheduler`, with verbs
-  ``evaluate`` / ``evaluate_many`` / ``stats`` / ``shutdown``, a bounded
-  in-flight points budget for backpressure (:class:`PointsBudget`), and
-  a graceful shutdown that drains every queued request.
-  :func:`start_service` runs one on a background thread.
+  ``evaluate`` / ``evaluate_many`` / ``stats`` / ``health`` /
+  ``shutdown``, a bounded in-flight points budget for backpressure
+  (:class:`PointsBudget`), per-connection idle timeouts, and a graceful
+  shutdown that drains every queued request.  :func:`start_service`
+  runs one on a background thread.
 * :mod:`repro.service.client` — :class:`ServiceClient` (one blocking
-  NDJSON connection) and :class:`RemoteEvaluator` (the evaluator-shaped
-  adapter that lets a local search loop or the report harness score
-  against a remote service unchanged).
+  NDJSON connection with transparent reconnect-and-resubmit under a
+  :class:`~repro.resilience.policy.RetryPolicy` and per-request
+  deadlines) and :class:`RemoteEvaluator` (the evaluator-shaped adapter
+  that lets a local search loop or the report harness score against a
+  remote service unchanged, with optional circuit-breaker fallback to a
+  local evaluator — see docs/RESILIENCE.md).
 
 Serve with ``yoso serve --scale demo --workers 4 --port 7777``; point
 the report at it with ``python -m repro.experiments.report --endpoint

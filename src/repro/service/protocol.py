@@ -19,7 +19,8 @@ Requests::
     {"v": 1, "id": 7, "op": "evaluate",      "point": {...}}
     {"v": 1, "id": 8, "op": "evaluate_many", "points": [{...}, ...]}
     {"v": 1, "id": 9, "op": "stats"}
-    {"v": 1, "id": 10, "op": "shutdown"}
+    {"v": 1, "id": 10, "op": "health"}
+    {"v": 1, "id": 11, "op": "shutdown"}
 
 Responses::
 

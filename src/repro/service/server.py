@@ -64,9 +64,10 @@ _REGISTRY = get_registry()
 _M_CONNECTIONS = _REGISTRY.counter("service.connections")
 _M_REQUESTS = _REGISTRY.counter("service.requests")
 _M_REJECTED = _REGISTRY.counter("service.rejected")
+_M_IDLE_DISCONNECTS = _REGISTRY.counter("service.idle_disconnects")
 _VERB_LATENCY = {
     op: _REGISTRY.histogram(f"service.latency_s.{op}")
-    for op in ("evaluate", "evaluate_many", "stats", "shutdown")
+    for op in ("evaluate", "evaluate_many", "stats", "health", "shutdown")
 }
 
 
@@ -164,6 +165,8 @@ class SearchService:
         store=None,
         store_path: str | None = None,
         owns_store: bool = False,
+        idle_timeout_s: float | None = None,
+        retry=None,
     ) -> None:
         self.evaluator = evaluator
         self.host = host
@@ -183,9 +186,16 @@ class SearchService:
         ):
             evaluator.attach_store(store)
         self.scheduler = MicroBatchScheduler(
-            evaluator, tick_s=tick_s, max_batch_points=max_batch_points
+            evaluator,
+            tick_s=tick_s,
+            max_batch_points=max_batch_points,
+            retry=retry,
         )
         self.max_inflight_points = max_inflight_points
+        #: Per-connection idle timeout: a peer that sends nothing for this
+        #: long is disconnected (None = never) so dead clients cannot pin
+        #: server resources indefinitely.
+        self.idle_timeout_s = idle_timeout_s
         self._budget: PointsBudget | None = None  # built on the loop
         self._server: asyncio.AbstractServer | None = None
         self._closing = False
@@ -198,6 +208,8 @@ class SearchService:
         self.connections = 0
         self.requests = 0
         self.rejected = 0
+        self.idle_disconnects = 0
+        self._started_monotonic: float | None = None
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> None:
@@ -217,6 +229,7 @@ class SearchService:
             limit=protocol.MAX_LINE_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
 
     async def serve_forever(self) -> None:
         """Start (if needed) and block until a shutdown completes."""
@@ -290,6 +303,41 @@ class SearchService:
             await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
         self._stopped.set()
 
+    def request_abort(self) -> None:
+        """Hard stop (chaos hook; loop-thread only, like request_shutdown).
+
+        Unlike the graceful path, nothing drains: the listener closes and
+        every connection task is cancelled mid-flight, so in-flight
+        requests never get their responses — exactly what a killed server
+        looks like to clients.  The chaos suite uses this to prove the
+        client's reconnect-and-resubmit path; production uses
+        :meth:`request_shutdown`.
+        """
+        if self._stopped is None or self._stopped.is_set():
+            return
+        self._closing = True
+        asyncio.get_running_loop().create_task(self._abort())
+
+    async def _abort(self) -> None:
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._server is not None:
+            with contextlib.suppress(Exception, asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+        # Join the scheduler thread so the process does not leak it; any
+        # in-flight tick finishes, but its connection tasks are gone, so
+        # no response escapes to a client.  The evaluator
+        # and store are deliberately NOT closed/synced — a hard kill
+        # leaves them to the owner, and the store's torn-tail recovery
+        # covers the on-disk state.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.scheduler.close
+        )
+        if self._stopped is not None:
+            self._stopped.set()
+
     # -- request tracking ------------------------------------------------
     def _track_start(self) -> None:
         assert self._idle is not None
@@ -314,7 +362,18 @@ class SearchService:
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if self.idle_timeout_s is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=self.idle_timeout_s
+                        )
+                    else:
+                        line = await reader.readline()
+                except (asyncio.TimeoutError, TimeoutError):
+                    # Idle peer: drop the connection so it cannot pin
+                    # server resources (a live client just reconnects).
+                    self.idle_disconnects += 1
+                    _M_IDLE_DISCONNECTS.inc()
+                    break
                 except ConnectionError:
                     break
                 except (ValueError, asyncio.LimitOverrunError):
@@ -429,6 +488,11 @@ class SearchService:
                 )
             if op == "stats":
                 return protocol.ok_response(request_id, stats=self.stats())
+            if op == "health":
+                # Liveness probe: answered inline — never queued behind
+                # the points budget — and still answered while draining,
+                # so load balancers can see a backend leaving.
+                return protocol.ok_response(request_id, health=self.health())
             if op == "shutdown":
                 self.request_shutdown()
                 return protocol.ok_response(request_id, closing=True)
@@ -470,6 +534,27 @@ class SearchService:
         finally:
             await self._budget.release(len(points))
 
+    # -- health ----------------------------------------------------------
+    def health(self) -> dict:
+        """A cheap liveness snapshot (the ``health`` verb's payload).
+
+        Reads a handful of counters — no evaluator, scheduler-lock or
+        registry traffic — so it stays cheap under load and never queues
+        behind the points budget.
+        """
+        return {
+            "status": "closing" if self._closing else "ok",
+            "closing": self._closing,
+            "active": self._active,
+            "inflight_points": self._budget.used if self._budget else 0,
+            "queued_requests": self._budget.waiting if self._budget else 0,
+            "uptime_s": (
+                time.monotonic() - self._started_monotonic
+                if self._started_monotonic is not None
+                else 0.0
+            ),
+        }
+
     # -- stats -----------------------------------------------------------
     def stats(self) -> dict:
         """A JSON-ready snapshot of service, scheduler and evaluator state.
@@ -495,6 +580,8 @@ class SearchService:
                 "rejected": self.rejected,
                 "active": self._active,
                 "closing": self._closing,
+                "idle_disconnects": self.idle_disconnects,
+                "idle_timeout_s": self.idle_timeout_s,
                 "max_inflight_points": self.max_inflight_points,
                 "inflight_points": inflight,
                 "queued_requests": queued_requests,
@@ -506,6 +593,7 @@ class SearchService:
                 "points_in": scheduler.points_in,
                 "largest_batch": scheduler.largest_batch,
                 "errors": scheduler.errors,
+                "retried_batches": scheduler.retried_batches,
                 "queue_depth": queue_depth,
                 "queued_points": queued_points,
                 "coalescing_ratio": (
@@ -600,6 +688,16 @@ class ServiceHandle:
         if loop is not None and self._thread.is_alive():
             with contextlib.suppress(RuntimeError):
                 loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout)
+
+    def abort(self, timeout: float | None = 30.0) -> None:
+        """Hard stop from any thread (chaos hook — see
+        :meth:`SearchService.request_abort`): no drain, in-flight
+        requests lose their connections mid-flight."""
+        loop = self._loop
+        if loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self.service.request_abort)
         self._thread.join(timeout)
 
     def __enter__(self) -> "ServiceHandle":

@@ -53,10 +53,12 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from typing import Iterator
 
 from ..obs.registry import get_registry
+from ..resilience import faults
 
 try:  # pragma: no cover - always present on the POSIX hosts we target
     import fcntl
@@ -130,11 +132,17 @@ class ResultStore:
     legal and cheap.
     """
 
-    def __init__(self, path: str, mode: str = "a") -> None:
+    def __init__(self, path: str, mode: str = "a", retry=None) -> None:
         if mode not in ("a", "r"):
             raise ValueError(f"mode must be 'a' or 'r', got {mode!r}")
         self.path = os.path.abspath(path)
         self.mode = mode
+        #: Optional :class:`~repro.resilience.policy.RetryPolicy` for
+        #: appends: a retryable write failure is rolled back (truncate to
+        #: the last good offset) and re-attempted after backoff, so a
+        #: transient I/O blip does not lose a result.  ``None`` (default)
+        #: preserves fail-fast semantics.
+        self.retry = retry
         self._lock = threading.Lock()
         self._index: dict[tuple[str, tuple], tuple] = {}
         self._closed = False
@@ -147,6 +155,8 @@ class ResultStore:
         self.appends = 0
         self.lookups = 0
         self.hits = 0
+        #: Appends that succeeded only after a rolled-back re-attempt.
+        self.retried_appends = 0
 
         flags = os.O_RDONLY if mode == "r" else os.O_RDWR | os.O_CREAT
         self._fd = os.open(self.path, flags, 0o644)
@@ -252,14 +262,34 @@ class ResultStore:
                     "store writer is broken (a previous append failed and "
                     "could not be rolled back); reopen the store to recover"
                 )
-            try:
-                self._write_bytes(blob)
-            except BaseException:
+            attempt = 1
+            t0 = time.monotonic()
+            while True:
                 try:
-                    os.ftruncate(self._fd, self._size)
-                except OSError:
-                    self._broken = True
-                raise
+                    faults.hit("store.append")
+                    self._write_bytes(blob)
+                    break
+                except BaseException as exc:
+                    # Roll back FIRST — whatever happens next, the log
+                    # must never gain a torn interior record.  A failed
+                    # rollback marks the writer broken and surfaces the
+                    # ORIGINAL write error (never retried: the log state
+                    # is unknown).
+                    try:
+                        os.ftruncate(self._fd, self._size)
+                    except OSError:
+                        self._broken = True
+                        raise exc
+                    if self.retry is None or not self.retry.should_retry(
+                        exc, attempt, time.monotonic() - t0
+                    ):
+                        raise
+                    # Appends already serialise on this lock, so backing
+                    # off while holding it blocks only other writers —
+                    # which could not proceed anyway.
+                    self.retry.sleep_before_retry(attempt)
+                    self.retried_appends += 1
+                    attempt += 1
             self._size += len(blob)
             self._index[(namespace, key)] = values
             self.appends += 1
@@ -348,6 +378,7 @@ class ResultStore:
             "records": len(self._index),
             "loaded_records": self.loaded_records,
             "appends": self.appends,
+            "retried_appends": self.retried_appends,
             "lookups": self.lookups,
             "hits": self.hits,
             "size_bytes": self._size,

@@ -24,6 +24,7 @@ DOCS = [
     "EXPERIMENTS.md",
     "docs/PERFORMANCE.md",
     "docs/OBSERVABILITY.md",
+    "docs/RESILIENCE.md",
 ]
 
 
@@ -126,6 +127,11 @@ class TestReferencedFilesExist:
         """README and DESIGN must point readers at docs/OBSERVABILITY.md."""
         assert "docs/OBSERVABILITY.md" in read("README.md")
         assert "docs/OBSERVABILITY.md" in read("DESIGN.md")
+
+    def test_resilience_doc_crosslinked(self):
+        """README and DESIGN must point readers at docs/RESILIENCE.md."""
+        assert "docs/RESILIENCE.md" in read("README.md")
+        assert "docs/RESILIENCE.md" in read("DESIGN.md")
 
 
 class TestPaperConstantsMatchCode:

@@ -113,6 +113,22 @@ class TestWireCodec:
         with pytest.raises(ValueError):
             parse_endpoint("no-port")
 
+    def test_parse_endpoint_rejects_bad_ports(self):
+        with pytest.raises(ValueError, match="1-65535"):
+            parse_endpoint("127.0.0.1:0")
+        with pytest.raises(ValueError, match="1-65535"):
+            parse_endpoint("127.0.0.1:70000")
+        with pytest.raises(ValueError):
+            parse_endpoint("127.0.0.1:-1")  # not digits
+        # The boundaries themselves are fine.
+        assert parse_endpoint("h:1") == ("h", 1)
+        assert parse_endpoint("h:65535") == ("h", 65535)
+
+    def test_parse_endpoint_rejects_ipv6_brackets_clearly(self):
+        for endpoint in ("[::1]:8000", "[fe80::1]:7777", "::1:8000"):
+            with pytest.raises(ValueError, match="IPv6"):
+                parse_endpoint(endpoint)
+
 
 # ---------------------------------------------------------------------------
 # Live service
@@ -289,6 +305,91 @@ class TestSearchService:
             socket.create_connection((host, port), timeout=2.0).close()
         # Every queued point was evaluated exactly once (no double runs).
         assert sum(gated.calls) == 4 * len(chunk)
+
+    def test_stats_and_shutdown_racing_a_drain(self, smoke_context):
+        """stats/health/shutdown/evaluate hammered from pre-connected
+        clients WHILE the service drains: every call either gets a valid
+        answer, a typed "closed" error, or a clean connection error —
+        never a hang, a crash, or a malformed frame."""
+        from repro.resilience import RetryPolicy
+        from repro.service.client import ServiceError
+
+        fast = smoke_context.fast_evaluator
+        gated = _GatedEvaluator(BatchEvaluator(fast))
+        chunk = _population(2, seed=31)
+        handle = start_service(gated, tick_s=0.0)
+        host, port = handle.address
+        no_retry = RetryPolicy(max_attempts=1)
+
+        def fresh_client() -> ServiceClient:
+            return ServiceClient(host, port, retry=no_retry)
+
+        blocker = fresh_client()
+        block_thread = threading.Thread(
+            target=lambda: blocker.evaluate_many(chunk)
+        )
+        # Pre-connect the racers BEFORE the drain starts: the listener
+        # closes the moment shutdown is requested, so only connections
+        # that already exist can race the drain at all.
+        racers = [fresh_client() for _ in range(6)]
+        outcomes: list = []
+        lock = threading.Lock()
+
+        def race(i: int, client: ServiceClient) -> None:
+            try:
+                if i % 3 == 0:
+                    outcome = ("stats", client.stats())
+                elif i % 3 == 1:
+                    outcome = ("health", client.health())
+                else:
+                    outcome = ("evaluate", client.evaluate_many(chunk))
+            except ServiceError as exc:
+                outcome = ("service-error", exc)
+            except (ConnectionError, OSError) as exc:
+                outcome = ("conn-error", exc)
+            with lock:
+                outcomes.append(outcome)
+
+        try:
+            block_thread.start()
+            assert gated.entered.wait(30.0), "no request reached the evaluator"
+            with fresh_client() as c:
+                ack = c.shutdown()  # the drain starts NOW
+            assert ack.get("closing") is True
+            threads = [
+                threading.Thread(target=race, args=(i, client))
+                for i, client in enumerate(racers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60.0)
+            assert all(not t.is_alive() for t in threads), (
+                "a request racing the drain hung"
+            )
+        finally:
+            gated.release.set()
+            block_thread.join(120.0)
+            handle.shutdown()
+            blocker.close()
+            for client in racers:
+                client.close()
+        assert len(outcomes) == 6
+        for kind, payload in outcomes:
+            if kind == "stats":
+                assert payload["service"]["closing"] is True
+            elif kind == "health":
+                assert payload["status"] == "closing"
+                assert payload["closing"] is True
+            elif kind == "evaluate":
+                # Landed before the drain flag was set: a full answer.
+                assert len(payload) == len(chunk)
+            elif kind == "service-error":
+                assert payload.kind == "closed", payload
+            else:
+                assert kind == "conn-error"
+        # The blocked request itself was drained, not dropped.
+        assert sum(gated.calls) >= len(chunk)
 
     def test_backpressure_bounds_inflight_points(self, smoke_context):
         """With a 4-point budget, a 12-point flood queues instead of all
