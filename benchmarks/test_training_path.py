@@ -53,6 +53,10 @@ def test_bench_training_fast_kernels_and_shards(demo_context):
     record: dict = {
         "benchmark": "training_path",
         "cpu_count": cpu_budget(),
+        # Top-level mirror of the shard-level flag: the shared bench
+        # schema (repro.analysis.benchschema) requires every report to
+        # say up front whether the host could honour its parallelism.
+        "degraded_host": host_info(max(SHARD_WORKERS))["degraded_host"],
     }
 
     # -- kernel speedup (demo scale, single process) --------------------

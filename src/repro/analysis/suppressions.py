@@ -1,0 +1,117 @@
+"""The ``# yoso-lint: disable=`` suppression contract.
+
+A finding is silenced in place, never globally::
+
+    os.fsync(self._fd)  # yoso-lint: disable=lock-discipline -- durability order needs the writer lock
+
+    # yoso-lint: disable=determinism-wallclock -- bench metadata records real time
+    wrote_at = time.time()
+
+The comment suppresses the named rule(s) on its own line; when it
+stands alone on a line, it suppresses the *next* line that holds code.
+The ``-- reason`` is mandatory and the rule ids must be real: a bare
+``disable=``, an unknown id, or a missing reason is itself reported
+under the ``suppression`` rule, so an annotation can never silently
+rot into a no-op.
+
+Parsing is token-based (:mod:`tokenize`), so the marker inside a string
+literal — e.g. the fixture snippets in ``tests/test_analysis.py`` — is
+not a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .registry import RULE_IDS
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+#: Anything after the marker is claimed by the contract.
+_MARKER = re.compile(r"#\s*yoso-lint:\s*(?P<body>.*?)\s*$")
+_RULE_LIST = re.compile(r"^[a-z0-9][a-z0-9\-]*(\s*,\s*[a-z0-9][a-z0-9\-]*)*$")
+
+
+@dataclass
+class Suppressions:
+    """Per-line rule silencing plus the contract violations found."""
+
+    #: line number -> rule ids silenced on that line
+    by_line: dict = field(default_factory=dict)
+    #: malformed annotations: (line, col, message)
+    problems: list = field(default_factory=list)
+
+    def covers(self, rule: str, line: int) -> bool:
+        return rule in self.by_line.get(line, ())
+
+    def add(self, line: int, rules) -> None:
+        self.by_line.setdefault(line, set()).update(rules)
+
+
+def _parse_marker(body: str):
+    """Return the rule-id list for a well-formed body, else an error string."""
+    if not body.startswith("disable="):
+        return None, "expected 'disable=<rule>[,<rule>] -- <reason>'"
+    rest = body[len("disable=") :]
+    if "--" in rest:
+        rule_part, _, reason = rest.partition("--")
+        rule_part = rule_part.strip()
+        reason = reason.strip()
+    else:
+        rule_part, reason = rest.strip(), ""
+    if not reason:
+        return None, "suppression is missing the mandatory '-- <reason>'"
+    if not rule_part or not _RULE_LIST.match(rule_part):
+        return None, "expected 'disable=<rule>[,<rule>] -- <reason>'"
+    rules = [r.strip() for r in rule_part.split(",")]
+    unknown = [r for r in rules if r not in RULE_IDS]
+    if unknown:
+        return None, "unknown rule id(s) in suppression: " + ", ".join(sorted(unknown))
+    return rules, None
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    sup = Suppressions()
+    standalone = []  # (comment line, rules) awaiting the next code line
+    code_lines = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports the parse failure; nothing to suppress.
+        return sup
+
+    skip = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+        tokenize.ENCODING,
+    }
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            match = _MARKER.search(tok.string)
+            if not match:
+                continue
+            line, col = tok.start
+            rules, error = _parse_marker(match.group("body"))
+            if error is not None:
+                sup.problems.append((line, col, error))
+                continue
+            if tok.line[: col].strip():
+                sup.add(line, rules)  # trailing comment: its own line
+            else:
+                standalone.append((line, rules))
+        elif tok.type not in skip:
+            code_lines.add(tok.start[0])
+
+    ordered = sorted(code_lines)
+    for line, rules in standalone:
+        target = next((code for code in ordered if code > line), None)
+        if target is not None:
+            sup.add(target, rules)
+    return sup

@@ -10,6 +10,7 @@ Usage (installed as ``python -m repro.cli`` or the ``yoso`` console script):
     yoso space                                     # search-space statistics
     yoso serve    [--scale demo] [--port 7777]    # search-evaluation service
     yoso stats    HOST:PORT [--json]              # live service telemetry
+    yoso lint     [PATHS] [--json] [--rule ID]    # invariant checker (repro.analysis)
 """
 
 from __future__ import annotations
@@ -182,6 +183,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args.paths, json_output=args.json, rules=args.rule or None)
+
+
 def cmd_space(args: argparse.Namespace) -> int:
     from repro.accel.config import hw_space_size
     from repro.nas.encoding import token_vocab_sizes
@@ -274,6 +281,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "+ read + retries); a blown budget raises a typed "
                         "DeadlineExceeded instead of hanging")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repro.analysis invariant checker (determinism, "
+             "replica-safety, lock discipline, error taxonomy, wire "
+             "floats, bench schemas — see docs/ANALYSIS.md)")
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files/directories to lint; *.json paths are "
+                        "validated as bench reports (default: src tests "
+                        "benchmarks plus every BENCH_*.json present)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the stable sorted finding schema for CI diffing")
+    p.add_argument("--rule", action="append", metavar="ID",
+                   help="restrict to the given rule id (repeatable)")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("space", help="search-space statistics")
     p.set_defaults(func=cmd_space)

@@ -50,6 +50,7 @@ __all__ = [
     "current_context",
     "new_trace_id",
     "new_span_id",
+    "worker_span",
 ]
 
 #: (trace_id, span_id) of the innermost active span on this thread/task.
@@ -278,6 +279,25 @@ class Tracer:
             span["attrs"] = attrs
         self._emit(span)
 
+    def record_ago(
+        self,
+        name: str,
+        trace_id: str | None,
+        parent_id: str | None,
+        ago_s: float,
+        **attrs,
+    ) -> None:
+        """Emit a span that *ended now* and lasted ``ago_s`` seconds.
+
+        Callers measure the interval with ``perf_counter`` deltas and
+        never touch the wall clock themselves — the one wall-clock read
+        anchoring the span happens here, inside obs, so instrumented
+        modules stay clock-free (the determinism-wallclock lint rule).
+        No-op when disabled or the request was untraced."""
+        if not self.enabled or trace_id is None:
+            return
+        self.record(name, trace_id, parent_id, time.time() - ago_s, ago_s, **attrs)
+
     def ingest(self, span_dicts: Iterable[Mapping]) -> None:
         """Merge spans built elsewhere (worker processes return span
         dicts with their results; the parent ingests them on harvest)."""
@@ -318,6 +338,38 @@ class Tracer:
             if self._sink is not None:
                 self._sink.close()
                 self._sink = None
+
+
+def worker_span(
+    name: str,
+    trace_id: str,
+    parent_id: str | None,
+    fn,
+    **attrs,
+) -> tuple:
+    """Run ``fn()`` and return ``(result, span_dict)`` measuring it.
+
+    The cross-process span builder: worker processes hold a fresh
+    (disabled) global tracer, so instead of a :class:`Span` they build
+    the plain dict form and ship it home with the result for
+    :meth:`Tracer.ingest`.  Both clock reads (the wall anchor and the
+    ``perf_counter`` duration) live here in obs, keeping worker task
+    modules clock-free for the determinism-wallclock lint rule.
+    """
+    start_s = time.time()
+    t0 = time.perf_counter()
+    result = fn()
+    span = {
+        "name": name,
+        "trace": trace_id,
+        "span": new_span_id(),
+        "parent": parent_id,
+        "start_s": start_s,
+        "duration_s": time.perf_counter() - t0,
+    }
+    if attrs:
+        span["attrs"] = dict(attrs)
+    return result, span
 
 
 #: The process-wide tracer (disabled until :func:`configure_tracing`).

@@ -50,7 +50,7 @@ import numpy as np
 
 from ..nn.module import Module
 from ..obs.registry import get_registry
-from ..obs.tracing import NULL_SPAN, current_context, get_tracer, new_span_id
+from ..obs.tracing import NULL_SPAN, current_context, get_tracer, worker_span
 from ..predict.features import genotype_features
 from ..resilience import faults
 from ..resilience.faults import InjectedFault
@@ -236,23 +236,17 @@ def _run_traced(fn, shard: list, trace_id: str, parent_id: str | None):
     """Run a shard task with a worker-side span; returns ``(result, spans)``.
 
     Worker processes hold a fresh (disabled) global tracer, so the span
-    is built as a plain dict and shipped back with the result — the
-    parent merges it into its own tracer on harvest (the "ids ship with
-    tasks, spans merge parent-side" model).  Only used when the parent's
-    tracer is enabled, so the untraced dispatch path is unchanged bytes.
+    is built as a plain dict (:func:`repro.obs.tracing.worker_span`) and
+    shipped back with the result — the parent merges it into its own
+    tracer on harvest (the "ids ship with tasks, spans merge
+    parent-side" model).  Only used when the parent's tracer is enabled,
+    so the untraced dispatch path is unchanged bytes.
     """
-    start_s = time.time()
-    t0 = time.perf_counter()
-    result = fn(shard)
-    span = {
-        "name": "pool.shard",
-        "trace": trace_id,
-        "span": new_span_id(),
-        "parent": parent_id,
-        "start_s": start_s,
-        "duration_s": time.perf_counter() - t0,
-        "attrs": {"items": len(shard), "pid": os.getpid()},
-    }
+    result, span = worker_span(
+        "pool.shard", trace_id, parent_id,
+        functools.partial(fn, shard),
+        items=len(shard), pid=os.getpid(),
+    )
     return result, [span]
 
 

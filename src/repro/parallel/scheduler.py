@@ -221,12 +221,11 @@ class MicroBatchScheduler:
             _M_QUEUE_WAIT_S.observe(wait_s)
             if request.trace is not None:
                 # The wait already happened; emit it as a pre-measured
-                # span anchored at the enqueue wall-time.
-                tracer.record(
+                # span ending now (obs supplies the wall anchor).
+                tracer.record_ago(
                     "scheduler.queue_wait",
                     request.trace[0],
                     request.trace[1],
-                    time.time() - wait_s,
                     wait_s,
                     points=len(request.points),
                 )

@@ -248,6 +248,10 @@ class ServiceClient:
 
         with span:
             with self._lock:
+                # yoso-lint: disable=lock-discipline -- the lock serialises the
+                # whole request/response exchange (including reconnect + backoff)
+                # on this one connection; concurrent callers must wait for the
+                # socket anyway, and nothing else is ever taken under it.
                 result = self.retry.run(
                     one_attempt, deadline=deadline, on_retry=note_retry
                 )

@@ -25,6 +25,7 @@ DOCS = [
     "docs/PERFORMANCE.md",
     "docs/OBSERVABILITY.md",
     "docs/RESILIENCE.md",
+    "docs/ANALYSIS.md",
 ]
 
 
@@ -132,6 +133,19 @@ class TestReferencedFilesExist:
         """README and DESIGN must point readers at docs/RESILIENCE.md."""
         assert "docs/RESILIENCE.md" in read("README.md")
         assert "docs/RESILIENCE.md" in read("DESIGN.md")
+
+    def test_analysis_doc_crosslinked(self):
+        """README and DESIGN must point readers at docs/ANALYSIS.md."""
+        assert "docs/ANALYSIS.md" in read("README.md")
+        assert "docs/ANALYSIS.md" in read("DESIGN.md")
+
+    def test_analysis_doc_rule_catalogue_is_complete(self):
+        """docs/ANALYSIS.md must document every shipped rule id."""
+        from repro.analysis import RULE_IDS
+
+        text = read("docs/ANALYSIS.md")
+        for rule_id in RULE_IDS:
+            assert f"`{rule_id}`" in text, f"rule {rule_id} undocumented"
 
 
 class TestPaperConstantsMatchCode:

@@ -23,6 +23,7 @@ import json
 import os
 import signal
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -272,6 +273,49 @@ class TestTracer:
         # Untraced work never records pre-measured spans.
         tracer.record("queue_wait", None, None, 0.0, 0.1)
         assert len(tracer.spans()) == 2
+
+    def test_record_ago_anchors_a_span_ending_now(self):
+        tracer = Tracer()
+        tracer.configure(enabled=True)
+        # yoso-lint: disable=determinism-wallclock -- bounding the wall anchor obs emits
+        before = time.time()
+        tracer.record_ago("queue_wait", "t" * 32, "p" * 16, 0.25, points=3)
+        after = time.time()  # yoso-lint: disable=determinism-wallclock -- same bound
+        (span,) = tracer.spans()
+        assert span["duration_s"] == 0.25
+        # start + duration == "now": the wall anchor is supplied by obs,
+        # so callers never read the clock themselves.
+        assert before - 0.25 <= span["start_s"] <= after - 0.25
+        assert span["attrs"] == {"points": 3}
+        # Disabled tracer / untraced request: no-op.
+        tracer.record_ago("queue_wait", None, None, 0.1)
+        assert len(tracer.spans()) == 1
+        tracer.configure(enabled=False)
+        tracer.record_ago("queue_wait", "t" * 32, None, 0.1)
+        assert len(tracer.spans()) == 1
+
+    def test_worker_span_measures_fn_and_builds_the_dict(self):
+        from repro.obs.tracing import worker_span
+
+        # yoso-lint: disable=determinism-wallclock -- bounding the wall anchor obs emits
+        before = time.time()
+        result, span = worker_span(
+            "pool.shard", "t" * 32, "p" * 16,
+            lambda: sum(range(10)), items=4, pid=123,
+        )
+        after = time.time()  # yoso-lint: disable=determinism-wallclock -- same bound
+        assert result == 45
+        assert span["name"] == "pool.shard"
+        assert span["trace"] == "t" * 32
+        assert span["parent"] == "p" * 16
+        assert before <= span["start_s"] <= after
+        assert 0.0 <= span["duration_s"] <= after - before + 0.1
+        assert span["attrs"] == {"items": 4, "pid": 123}
+        # The dict form ingests cleanly (the cross-process harvest path).
+        tracer = Tracer()
+        tracer.configure(enabled=True)
+        tracer.ingest([span])
+        assert tracer.spans() == [span]
 
     def test_jsonl_sink_writes_one_line_per_span(self, tmp_path):
         sink = tmp_path / "trace.jsonl"

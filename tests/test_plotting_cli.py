@@ -81,7 +81,7 @@ class TestCli:
         commands = set(sub.choices)
         assert commands == {
             "run", "fig4", "fig5", "fig6", "table2", "space", "serve",
-            "stats",
+            "stats", "lint",
         }
 
     def test_space_command(self, capsys):
